@@ -1,0 +1,73 @@
+// Command segbench regenerates every table and figure of the paper's
+// evaluation (§5) on the software-SIMD reproduction. Run without flags to
+// execute all experiments, or select one with -experiment.
+//
+//	segbench -experiment fig10 -probes 10000
+//
+// Experiments: table2, table3, fig9, fig10, fig11, memory, karysearch, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: table2, table3, fig9, fig10, fig11, memory, karysearch, all")
+	probes := flag.Int("probes", 10000, "random searches per measurement (paper: 10,000)")
+	rounds := flag.Int("rounds", 3, "measurement rounds; fastest is reported")
+	seed := flag.Int64("seed", 1, "workload seed")
+	fig11Keys := flag.Int("fig11keys", 20000000, "maximum keys per depth step in Figure 11")
+	memKeys := flag.Int("memkeys", 1638400, "consecutive keys for the memory experiment (paper: ~1.6 M)")
+	flag.Parse()
+
+	o := bench.Options{Probes: *probes, Rounds: *rounds, Seed: *seed}
+
+	run := func(name, title, body string) {
+		fmt.Printf("== %s — %s ==\n%s\n", name, title, body)
+	}
+
+	selected := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	any := false
+	if selected("table2") {
+		any = true
+		run("Table 2", "k values for a 128-bit SIMD register", bench.Table2())
+	}
+	if selected("table3") {
+		any = true
+		run("Table 3", "node characteristics", bench.Table3())
+	}
+	if selected("fig9") {
+		any = true
+		run("Figure 9", "bitmask evaluation algorithms, 8-bit Seg-Tree", bench.Figure9(o))
+	}
+	if selected("fig10") {
+		any = true
+		run("Figure 10", "Seg-Tree search: binary vs. BF-SIMD vs. DF-SIMD", bench.Figure10(o))
+	}
+	if selected("fig11") {
+		any = true
+		run("Figure 11", "Seg-Tree vs. Seg-Trie speedup over B+-Tree, 64-bit keys",
+			bench.Figure11(o, *fig11Keys))
+	}
+	if selected("memory") {
+		any = true
+		run("Memory", "key-storage reduction (abstract: 8x for the Seg-Trie)",
+			bench.Memory(*memKeys))
+	}
+	if selected("karysearch") {
+		any = true
+		run("k-ary search", "flat sorted arrays, §2.2 micro-benchmark",
+			bench.KarySearch(o, []int{256, 4096, 65536, 1 << 20}))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,119 @@
+// Command treedump visualizes the paper's layout transformations: it
+// prints a sorted key list, its breadth-first and depth-first linearized
+// forms (paper Figures 4–6), and a step-by-step trace of the SIMD compare
+// sequence for a search key, including each level's bitmask and evaluated
+// position.
+//
+//	treedump -n 26 -search 9
+//	treedump -n 11 -search 7 -layout df
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bitmask"
+	"repro/internal/kary"
+	"repro/internal/keys"
+	"repro/internal/simd"
+)
+
+func main() {
+	n := flag.Int("n", 26, "number of keys (values 1..n, 64-bit)")
+	search := flag.Int64("search", 9, "search key for the trace")
+	layoutFlag := flag.String("layout", "bf", "layout to trace: bf or df")
+	flag.Parse()
+
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "treedump: -n must be at least 1")
+		os.Exit(2)
+	}
+	sorted := make([]int64, *n)
+	for i := range sorted {
+		sorted[i] = int64(i + 1)
+	}
+
+	bf := kary.Build(sorted, kary.BreadthFirst)
+	df := kary.Build(sorted, kary.DepthFirst)
+
+	fmt.Printf("k-ary search trees for %d sorted 64-bit keys (k=%d, %d parallel compares)\n\n",
+		*n, keys.K[int64](), keys.Lanes[int64]())
+	fmt.Printf("sorted:         %v\n", sorted)
+	fmt.Printf("breadth-first:  %v   (levels=%d, stored=%d, pads=%d)\n",
+		bf.Linearized(), bf.Levels(), bf.Stored(), bf.Stored()-bf.Len())
+	fmt.Printf("depth-first:    %v   (levels=%d, stored=%d, pads=%d)\n\n",
+		df.Linearized(), df.Levels(), df.Stored(), df.Stored()-df.Len())
+
+	layout := kary.BreadthFirst
+	tree := bf
+	if strings.EqualFold(*layoutFlag, "df") {
+		layout = kary.DepthFirst
+		tree = df
+	}
+	fmt.Printf("search trace for key %d on the %s layout:\n", *search, layout)
+	trace(tree, *search)
+	fmt.Printf("result: first key greater than %d is at sorted position %d (binary search agrees: %d)\n",
+		*search, tree.Search(*search, bitmask.Popcount), kary.UpperBound(sorted, *search))
+}
+
+// trace replays the per-level SIMD sequence with intermediate values. It
+// re-derives the node walk from the public Search result per level prefix,
+// printing the keys loaded, the movemask and the evaluated position.
+func trace(t *kary.Tree[int64], v int64) {
+	lin := t.Linearized()
+	k := keys.K[int64]()
+	lanes := k - 1
+	if t.Len() == 0 {
+		fmt.Println("  (empty tree)")
+		return
+	}
+	if max, _ := t.Max(); v >= max {
+		fmt.Printf("  v >= S_max (%d): replenishment check short-circuits, no key greater\n", max)
+		return
+	}
+	search := simd.NewSearch(8, keys.OrderedBits(v))
+	if t.Layout() == kary.BreadthFirst {
+		pLevel, base, lvlCnt := 0, 0, 1
+		for level := 0; base < t.Stored(); level++ {
+			idx := base + pLevel*lanes
+			if idx >= t.Stored() {
+				fmt.Printf("  level %d: node %d absent (pad region), digits stay 0\n", level, pLevel)
+				break
+			}
+			node := lin[idx : idx+lanes]
+			mask := search.GtMask(keys.Pack(node))
+			pos := bitmask.PopcountEval(mask, 8)
+			fmt.Printf("  level %d: load %v  compare >%d  movemask=%#04x  position=%d\n",
+				level, node, v, mask, pos)
+			pLevel = pLevel*k + pos
+			base += lvlCnt * lanes
+			lvlCnt *= k
+		}
+		return
+	}
+	subSize := 1
+	for i := 0; i < t.Levels(); i++ {
+		subSize *= k
+	}
+	subSize--
+	keyIdx, pLevel, level := 0, 0, 0
+	for subSize > 0 {
+		pLevel *= k
+		subSize = (subSize - lanes) / k
+		if keyIdx >= t.Stored() {
+			fmt.Printf("  level %d: subtree absent (pad region), digit 0\n", level)
+			level++
+			continue
+		}
+		node := lin[keyIdx : keyIdx+lanes]
+		mask := search.GtMask(keys.Pack(node))
+		pos := bitmask.PopcountEval(mask, 8)
+		fmt.Printf("  level %d: load %v  compare >%d  movemask=%#04x  position=%d  (skip %d slots)\n",
+			level, node, v, mask, pos, subSize*pos)
+		keyIdx += lanes + subSize*pos
+		pLevel += pos
+		level++
+	}
+}

@@ -1,0 +1,69 @@
+// Layouts: a walk through the paper's core idea. It shows why a plain
+// sorted array cannot be searched with SIMD compares (separators are not
+// adjacent in memory), linearizes the same keys breadth-first and
+// depth-first (paper Figures 4–6), and replays the k-ary search for the
+// paper's running example, printing each SIMD step.
+package main
+
+import (
+	"fmt"
+
+	simdtree "repro"
+)
+
+func main() {
+	// The paper's running example: 26 sorted keys, 64-bit data type,
+	// 128-bit SIMD, so k=3 — each node holds k−1=2 separators and one
+	// SIMD compare tests both at once.
+	sorted := make([]int64, 26)
+	for i := range sorted {
+		sorted[i] = int64(i + 1)
+	}
+	fmt.Printf("k = %d for 64-bit keys: %d separators per SIMD compare\n\n",
+		simdtree.KValue[int64](), simdtree.ParallelComparisons[int64]())
+
+	fmt.Println("sorted list (binary search layout):")
+	fmt.Printf("  %v\n", sorted)
+	fmt.Println("  k-ary search would pick separators 9 and 18 — but they are 9")
+	fmt.Println("  elements apart, so one 16-byte SIMD load cannot fetch both.")
+	fmt.Println()
+
+	bf := simdtree.BuildKaryTree(sorted, simdtree.BreadthFirst)
+	df := simdtree.BuildKaryTree(sorted, simdtree.DepthFirst)
+	fmt.Println("breadth-first linearization (paper Figure 4/6):")
+	fmt.Printf("  %v\n", bf.Linearized())
+	fmt.Println("depth-first linearization (paper Formula 2):")
+	fmt.Printf("  %v\n\n", df.Linearized())
+
+	fmt.Println("every pair of separators is now adjacent: one load per level.")
+	fmt.Printf("levels: %d (vs. %d binary-search iterations for 26 keys)\n\n",
+		bf.Levels(), 5)
+
+	// Replay the search from §3.1 for v=9 on both layouts using all
+	// three bitmask evaluation algorithms — they must agree.
+	for _, v := range []int64{9, 1, 26, 13} {
+		posP := bf.Search(v, simdtree.Popcount)
+		posB := bf.Search(v, simdtree.BitShift)
+		posS := bf.Search(v, simdtree.SwitchCase)
+		posD := df.Search(v, simdtree.Popcount)
+		want := simdtree.UpperBound(sorted, v)
+		fmt.Printf("search %2d: BF popcount=%2d bitshift=%2d switch=%2d | DF=%2d | binary=%2d\n",
+			v, posP, posB, posS, posD, want)
+	}
+	fmt.Println()
+
+	// Arbitrary sizes: 11 keys do not form a perfect 3-ary tree; §3.3
+	// replenishes incomplete nodes with S_max.
+	short := sorted[:11]
+	bf11 := simdtree.BuildKaryTree(short, simdtree.BreadthFirst)
+	df11 := simdtree.BuildKaryTree(short, simdtree.DepthFirst)
+	fmt.Println("replenishment for 11 keys (paper Figure 7):")
+	fmt.Printf("  BF: %v  (%d pads)\n", bf11.Linearized(), bf11.Stored()-bf11.Len())
+	fmt.Printf("  DF: %v  (%d pads)\n", df11.Linearized(), df11.Stored()-df11.Len())
+	fmt.Println()
+
+	// The linearization is invertible: delinearized keys come back in
+	// sorted order.
+	fmt.Printf("delinearized BF keys: %v\n", bf11.Keys())
+	fmt.Println("\nrun `go run ./cmd/treedump -n 26 -search 9` for a per-level SIMD trace.")
+}

@@ -1,0 +1,43 @@
+package simdtree
+
+import (
+	"repro/internal/concurrent"
+	"repro/internal/keys"
+	"repro/internal/zhouross"
+)
+
+// Extensions beyond the paper's core contribution: the Zhou-Ross SIMD
+// search strategies it discusses as related work (§6), and thread-safe
+// access, the first of its future-work directions (§7).
+
+// ZhouRossList is a sorted list searchable with the three SIMD strategies
+// of Zhou and Ross (SIGMOD 2002): full-bandwidth sequential scan, improved
+// binary search, and their hybrid. Unlike the k-ary search tree it keeps
+// keys in plain sorted order.
+type ZhouRossList[K Key] = zhouross.List[K]
+
+// NewZhouRossList builds a Zhou-Ross searchable list from strictly
+// ascending keys; it panics on unsorted input.
+func NewZhouRossList[K Key](sorted []K) *ZhouRossList[K] {
+	return zhouross.New(sorted)
+}
+
+// Map is the common mutable interface of every index in this module.
+type Map[K Key, V any] = concurrent.Map[K, V]
+
+// LockedMap wraps any Map with a readers-writer lock: lookups run
+// concurrently, mutations exclusively.
+type LockedMap[K Key, V any] = concurrent.Locked[K, V]
+
+// NewLockedMap wraps m for concurrent use. The caller must not use m
+// directly afterwards.
+func NewLockedMap[K Key, V any](m Map[K, V]) *LockedMap[K, V] {
+	return concurrent.NewLocked(m)
+}
+
+// ParallelSearch probes a read-only index from several goroutines and
+// returns the number of hits. Searches are side-effect free, so a
+// read-only index needs no locking.
+func ParallelSearch[K keys.Key, V any](idx interface{ Get(K) (V, bool) }, probes []K, workers int) int {
+	return concurrent.ParallelSearch[K, V](idx, probes, workers)
+}

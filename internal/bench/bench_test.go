@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitmask"
+	"repro/internal/kary"
+	"repro/internal/workload"
+)
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "long-header"}, [][]string{
+		{"xxxxxx", "1"},
+		{"y", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a      ") || !strings.Contains(lines[0], "long-header") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "------") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+}
+
+func TestWorkbenchBuildsForestAndProbes(t *testing.T) {
+	wb := NewWorkbench[uint8](workload.FiveMB, 500, 1,
+		SegTreeBuilder[uint8](kary.BreadthFirst, bitmask.Popcount))
+	if len(wb.Trees) < 2 {
+		t.Fatalf("expected a forest for 8-bit 5MB, got %d trees", len(wb.Trees))
+	}
+	if len(wb.Probes) != 500 || len(wb.TreePick) != 500 {
+		t.Fatalf("probe plan sizes: %d %d", len(wb.Probes), len(wb.TreePick))
+	}
+	// All probes must hit (drawn from loaded keys).
+	hits := 0
+	for i, p := range wb.Probes {
+		if wb.Trees[wb.TreePick[i]].Contains(p) {
+			hits++
+		}
+	}
+	if hits != 500 {
+		t.Fatalf("hits %d want 500", hits)
+	}
+	if ns := wb.RunBest(2); ns <= 0 {
+		t.Fatalf("ns/op %f", ns)
+	}
+}
+
+func TestStaticExperimentsProduceTables(t *testing.T) {
+	if !strings.Contains(Table2(), "17") {
+		t.Fatal("table2 lacks k=17")
+	}
+	t3 := Table3()
+	for _, want := range []string{"2296", "4056", "3880", "256", "408", "242"} {
+		if !strings.Contains(t3, want) {
+			t.Fatalf("table3 lacks %s:\n%s", want, t3)
+		}
+	}
+	mem := Memory(10000)
+	if !strings.Contains(mem, "7.9") && !strings.Contains(mem, "8.0") {
+		t.Fatalf("memory table lacks the ~8x reduction:\n%s", mem)
+	}
+}

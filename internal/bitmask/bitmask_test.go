@@ -1,0 +1,142 @@
+package bitmask
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+	"repro/internal/simd"
+)
+
+var widths = []int{1, 2, 4, 8}
+
+func TestAllAlgorithmsAgreeOnAllSwitchPoints(t *testing.T) {
+	for _, w := range widths {
+		c := 16 / w
+		for p := 0; p <= c; p++ {
+			mask := SwitchPointMask(p, w)
+			for _, ev := range Evaluators {
+				if got := ev.Evaluate(mask, w); got != p {
+					t.Fatalf("%v width %d position %d (mask %#x): got %d",
+						ev, w, p, mask, got)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperWalkThrough(t *testing.T) {
+	// Figure 1: mask 0xF000 for 32-bit lanes must evaluate to position 3
+	// with every algorithm.
+	for _, ev := range Evaluators {
+		if got := ev.Evaluate(0xF000, 4); got != 3 {
+			t.Fatalf("%v: got %d want 3", ev, got)
+		}
+	}
+}
+
+func TestSwitchPointMaskRoundTrip(t *testing.T) {
+	f := func(p uint8, wi uint8) bool {
+		w := widths[int(wi)%len(widths)]
+		c := 16 / w
+		pos := int(p) % (c + 1)
+		mask := SwitchPointMask(pos, w)
+		return PopcountEval(mask, w) == pos &&
+			BitShiftEval(mask, w) == pos &&
+			SwitchEval(mask, w) == pos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatorString(t *testing.T) {
+	if BitShift.String() != "bit-shifting" ||
+		SwitchCase.String() != "switch-case" ||
+		Popcount.String() != "popcount" {
+		t.Fatal("unexpected evaluator names")
+	}
+	if Evaluator(99).String() != "unknown" {
+		t.Fatal("unknown evaluator name")
+	}
+}
+
+// TestAgainstRealCompareSequence runs the full five-step SIMD sequence of
+// the paper on sorted random lanes and checks that every evaluator returns
+// the same answer as a scalar upper-bound search.
+func TestAgainstRealCompareSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(t *testing.T, lanesSorted []uint64, v uint64, w int) {
+		t.Helper()
+		b := make([]byte, 16)
+		for i, lane := range lanesSorted {
+			for j := 0; j < w; j++ {
+				b[i*w+j] = byte(lane >> (8 * uint(j)))
+			}
+		}
+		reg := simd.Load(b)
+		searchReg := simd.Set1Lane(w, v)
+		mask := simd.MoveMaskEpi8(simd.CmpGt(w, reg, searchReg))
+		// Scalar ground truth: index of the first lane strictly greater
+		// than v in signed lane order.
+		shift := uint(64 - 8*w)
+		sv := int64(v<<shift) >> shift
+		want := len(lanesSorted)
+		for i, lane := range lanesSorted {
+			if int64(lane<<shift)>>shift > sv {
+				want = i
+				break
+			}
+		}
+		for _, ev := range Evaluators {
+			if got := ev.Evaluate(mask, w); got != want {
+				t.Fatalf("%v width %d lanes %v v %#x: got %d want %d",
+					ev, w, lanesSorted, v, got, want)
+			}
+		}
+	}
+	for _, w := range widths {
+		c := 16 / w
+		for iter := 0; iter < 5000; iter++ {
+			// Draw random unsigned keys, realign, sort in signed lane
+			// order, pick a search key near the values.
+			raw := make([]uint64, c)
+			limit := uint64(1)<<(8*uint(w)-1) + uint64(1)<<(8*uint(w)-2)
+			if w == 8 {
+				limit = 1 << 62
+			}
+			for i := range raw {
+				raw[i] = rng.Uint64() % limit
+			}
+			sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+			lanes := make([]uint64, c)
+			for i, x := range raw {
+				switch w {
+				case 1:
+					lanes[i] = keys.Lane(uint8(x))
+				case 2:
+					lanes[i] = keys.Lane(uint16(x))
+				case 4:
+					lanes[i] = keys.Lane(uint32(x))
+				default:
+					lanes[i] = keys.Lane(x)
+				}
+			}
+			pick := raw[rng.Intn(len(raw))]
+			var vLane uint64
+			switch w {
+			case 1:
+				vLane = keys.Lane(uint8(pick))
+			case 2:
+				vLane = keys.Lane(uint16(pick))
+			case 4:
+				vLane = keys.Lane(uint32(pick))
+			default:
+				vLane = keys.Lane(pick)
+			}
+			check(t, lanes, vLane, w)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package btree
+
+import "repro/internal/kary"
+
+// GetBatch looks up many keys with a level-synchronized descent, the
+// binary-search counterpart of the Seg-Tree's batched lookup (see
+// segtree.GetBatch); used as the baseline in batched benchmarks.
+func (t *Tree[K, V]) GetBatch(ks []K) ([]V, []bool) {
+	n := len(ks)
+	vals := make([]V, n)
+	found := make([]bool, n)
+	if n == 0 {
+		return vals, found
+	}
+	nodes := make([]*node[K, V], n)
+	for i := range nodes {
+		nodes[i] = t.root
+	}
+	for depth := t.Height(); depth > 1; depth-- {
+		for i, nd := range nodes {
+			nodes[i] = nd.children[kary.UpperBound(nd.keys, ks[i])]
+		}
+	}
+	for i, nd := range nodes {
+		if j := kary.UpperBound(nd.keys, ks[i]); j > 0 && nd.keys[j-1] == ks[i] {
+			vals[i] = nd.vals[j-1]
+			found[i] = true
+		}
+	}
+	return vals, found
+}

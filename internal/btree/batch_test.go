@@ -1,0 +1,28 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGetBatchMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	tr := New[uint32, int](Config{LeafCap: 6, BranchCap: 6})
+	for i := 0; i < 5000; i++ {
+		tr.Put(rng.Uint32()%20000, i)
+	}
+	probes := make([]uint32, 2000)
+	for i := range probes {
+		probes[i] = rng.Uint32() % 20000
+	}
+	vals, found := tr.GetBatch(probes)
+	for i, p := range probes {
+		wv, wok := tr.Get(p)
+		if found[i] != wok || (wok && vals[i] != wv) {
+			t.Fatalf("batch[%d] key %d", i, p)
+		}
+	}
+	if vals, found := tr.GetBatch(nil); len(vals) != 0 || len(found) != 0 {
+		t.Fatal("empty batch")
+	}
+}

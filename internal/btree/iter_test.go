@@ -1,0 +1,75 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIteratorMatchesAscend(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	tr := New[uint32, int](Config{LeafCap: 6, BranchCap: 6})
+	for i := 0; i < 4000; i++ {
+		tr.Put(rng.Uint32()%20000, i)
+	}
+	var want []uint32
+	tr.Ascend(func(k uint32, _ int) bool { want = append(want, k); return true })
+	it := tr.Iter()
+	i := 0
+	for it.Next() {
+		if i >= len(want) || it.Key() != want[i] {
+			t.Fatalf("cursor diverges at %d", i)
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("cursor emitted %d of %d", i, len(want))
+	}
+}
+
+func TestIterRangeMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	tr := New[uint32, int](Config{LeafCap: 8, BranchCap: 8})
+	for i := 0; i < 3000; i++ {
+		tr.Put(rng.Uint32()%50000, i)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Uint32() % 50000
+		hi := lo + rng.Uint32()%3000
+		var wantK []uint32
+		var wantV []int
+		tr.Scan(lo, hi, func(k uint32, v int) bool {
+			wantK = append(wantK, k)
+			wantV = append(wantV, v)
+			return true
+		})
+		it := tr.IterRange(lo, hi)
+		i := 0
+		for it.Next() {
+			if i >= len(wantK) || it.Key() != wantK[i] || it.Value() != wantV[i] {
+				t.Fatalf("[%d,%d]: cursor diverges at %d", lo, hi, i)
+			}
+			i++
+		}
+		if i != len(wantK) {
+			t.Fatalf("[%d,%d]: cursor emitted %d of %d", lo, hi, i, len(wantK))
+		}
+	}
+}
+
+func TestIterEmptyAndInverted(t *testing.T) {
+	tr := NewDefault[uint32, int]()
+	if tr.Iter().Next() {
+		t.Fatal("empty cursor emitted")
+	}
+	tr.Put(5, 5)
+	if tr.IterRange(9, 3).Next() {
+		t.Fatal("inverted cursor emitted")
+	}
+	it := tr.IterRange(0, 100)
+	if !it.Next() || it.Key() != 5 {
+		t.Fatal("range cursor")
+	}
+	if it.Next() {
+		t.Fatal("cursor past data")
+	}
+}

@@ -1,0 +1,314 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/kary"
+	"repro/internal/keys"
+)
+
+// Put stores val under key, returning true when the key was newly inserted
+// and false when an existing value was replaced.
+func (t *Tree[K, V]) Put(key K, val V) bool {
+	sep, right, added := t.insert(t.root, key, val)
+	if right != nil {
+		t.root = &node[K, V]{
+			keys:     []K{sep},
+			children: []*node[K, V]{t.root, right},
+		}
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// insert descends to the leaf, inserts, and propagates splits upward. When
+// the visited child splits, the new right sibling and its separator (the
+// smallest key reachable through it) are returned.
+func (t *Tree[K, V]) insert(n *node[K, V], key K, val V) (sep K, right *node[K, V], added bool) {
+	if n.leaf() {
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			return sep, nil, false
+		}
+		n.keys = append(n.keys, key)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, val)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		if len(n.keys) <= t.cfg.LeafCap {
+			return sep, nil, true
+		}
+		mid := len(n.keys) / 2
+		r := &node[K, V]{
+			keys: append([]K(nil), n.keys[mid:]...),
+			vals: append([]V(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = r
+		return r.keys[0], r, true
+	}
+
+	idx := kary.UpperBound(n.keys, key)
+	sep, right, added = t.insert(n.children[idx], key, val)
+	if right == nil {
+		return sep, nil, added
+	}
+	n.keys = append(n.keys, sep)
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = right
+	if len(n.keys) <= t.cfg.BranchCap {
+		return sep, nil, added
+	}
+	mid := len(n.keys) / 2
+	upSep := n.keys[mid]
+	r := &node[K, V]{
+		keys:     append([]K(nil), n.keys[mid+1:]...),
+		children: append([]*node[K, V](nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return upSep, r, added
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	removed := t.remove(t.root, key)
+	if removed {
+		t.size--
+	}
+	if !t.root.leaf() && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+	}
+	return removed
+}
+
+// remove deletes key below n and repairs any child underflow on the way
+// back up.
+func (t *Tree[K, V]) remove(n *node[K, V], key K) bool {
+	if n.leaf() {
+		i := lowerBound(n.keys, key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	idx := kary.UpperBound(n.keys, key)
+	removed := t.remove(n.children[idx], key)
+	if removed {
+		t.fixChild(n, idx)
+	}
+	return removed
+}
+
+// minKeys returns the underflow threshold for a node.
+func (t *Tree[K, V]) minKeys(n *node[K, V]) int {
+	if n.leaf() {
+		return t.cfg.LeafCap / 2
+	}
+	return t.cfg.BranchCap / 2
+}
+
+// fixChild restores the minimum fill of parent.children[i] by borrowing
+// from a sibling or merging with one.
+func (t *Tree[K, V]) fixChild(parent *node[K, V], i int) {
+	child := parent.children[i]
+	min := t.minKeys(child)
+	if len(child.keys) >= min {
+		return
+	}
+	if i > 0 {
+		left := parent.children[i-1]
+		if len(left.keys) > min {
+			t.borrowFromLeft(parent, i)
+			return
+		}
+	}
+	if i+1 < len(parent.children) {
+		right := parent.children[i+1]
+		if len(right.keys) > min {
+			t.borrowFromRight(parent, i)
+			return
+		}
+	}
+	if i > 0 {
+		t.merge(parent, i-1)
+	} else {
+		t.merge(parent, 0)
+	}
+}
+
+func (t *Tree[K, V]) borrowFromLeft(parent *node[K, V], i int) {
+	child, left := parent.children[i], parent.children[i-1]
+	last := len(left.keys) - 1
+	if child.leaf() {
+		child.keys = append([]K{left.keys[last]}, child.keys...)
+		child.vals = append([]V{left.vals[last]}, child.vals...)
+		left.keys = left.keys[:last]
+		left.vals = left.vals[:last]
+		parent.keys[i-1] = child.keys[0]
+		return
+	}
+	// Rotate through the parent separator so every separator stays the
+	// lower fence of its right subtree.
+	child.keys = append([]K{parent.keys[i-1]}, child.keys...)
+	parent.keys[i-1] = left.keys[last]
+	left.keys = left.keys[:last]
+	child.children = append([]*node[K, V]{left.children[len(left.children)-1]}, child.children...)
+	left.children = left.children[:len(left.children)-1]
+}
+
+func (t *Tree[K, V]) borrowFromRight(parent *node[K, V], i int) {
+	child, right := parent.children[i], parent.children[i+1]
+	if child.leaf() {
+		child.keys = append(child.keys, right.keys[0])
+		child.vals = append(child.vals, right.vals[0])
+		right.keys = right.keys[1:]
+		right.vals = right.vals[1:]
+		parent.keys[i] = right.keys[0]
+		return
+	}
+	child.keys = append(child.keys, parent.keys[i])
+	parent.keys[i] = right.keys[0]
+	right.keys = right.keys[1:]
+	child.children = append(child.children, right.children[0])
+	right.children = right.children[1:]
+}
+
+// merge combines parent.children[j] and parent.children[j+1] into the left
+// node and drops the separating key.
+func (t *Tree[K, V]) merge(parent *node[K, V], j int) {
+	left, right := parent.children[j], parent.children[j+1]
+	if left.leaf() {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, parent.keys[j])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	parent.keys = append(parent.keys[:j], parent.keys[j+1:]...)
+	parent.children = append(parent.children[:j+1], parent.children[j+2:]...)
+}
+
+// BulkLoad builds a tree from strictly ascending keys and their values,
+// filling every node completely — the paper's initial-filling fast path
+// (§3.2 and §5.1, "all nodes are completely filled"). It panics on
+// unsorted or duplicate keys or mismatched slice lengths.
+func BulkLoad[K keys.Key, V any](cfg Config, ks []K, vs []V) *Tree[K, V] {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if len(ks) != len(vs) {
+		panic(fmt.Sprintf("btree: %d keys but %d values", len(ks), len(vs)))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			panic(fmt.Sprintf("btree: bulk-load keys not strictly ascending at index %d", i))
+		}
+	}
+	t := New[K, V](cfg)
+	if len(ks) == 0 {
+		return t
+	}
+	t.size = len(ks)
+
+	// Build the sequence set: completely filled leaves, with the tail
+	// rebalanced so the last leaf never underflows.
+	var leaves []*node[K, V]
+	for off := 0; off < len(ks); off += cfg.LeafCap {
+		end := off + cfg.LeafCap
+		if end > len(ks) {
+			end = len(ks)
+		}
+		leaves = append(leaves, &node[K, V]{
+			keys: append([]K(nil), ks[off:end]...),
+			vals: append([]V(nil), vs[off:end]...),
+		})
+	}
+	rebalanceTail(leaves, cfg.LeafCap/2)
+	for i := 0; i+1 < len(leaves); i++ {
+		leaves[i].next = leaves[i+1]
+	}
+	t.first = leaves[0]
+
+	// Build branch levels bottom-up; mins[i] is the smallest key reachable
+	// through level[i].
+	level := leaves
+	mins := make([]K, len(level))
+	for i, l := range level {
+		mins[i] = l.keys[0]
+	}
+	for len(level) > 1 {
+		fanout := cfg.BranchCap + 1
+		var parents []*node[K, V]
+		var parentMins []K
+		for off := 0; off < len(level); off += fanout {
+			end := off + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			p := &node[K, V]{
+				children: append([]*node[K, V](nil), level[off:end]...),
+				keys:     append([]K(nil), mins[off+1:end]...),
+			}
+			parents = append(parents, p)
+			parentMins = append(parentMins, mins[off])
+		}
+		fixBranchTail(parents, &parentMins, cfg.BranchCap/2)
+		level = parents
+		mins = parentMins
+	}
+	t.root = level[0]
+	return t
+}
+
+// rebalanceTail moves items from the second-to-last leaf into an
+// underfull last leaf.
+func rebalanceTail[K keys.Key, V any](leaves []*node[K, V], min int) {
+	n := len(leaves)
+	if n < 2 {
+		return
+	}
+	last, prev := leaves[n-1], leaves[n-2]
+	if len(last.keys) >= min {
+		return
+	}
+	need := min - len(last.keys)
+	cut := len(prev.keys) - need
+	last.keys = append(append([]K(nil), prev.keys[cut:]...), last.keys...)
+	last.vals = append(append([]V(nil), prev.vals[cut:]...), last.vals...)
+	prev.keys = prev.keys[:cut]
+	prev.vals = prev.vals[:cut]
+}
+
+// fixBranchTail repairs an underfull last branch node by shifting children
+// from its left neighbour.
+func fixBranchTail[K keys.Key, V any](parents []*node[K, V], mins *[]K, min int) {
+	n := len(parents)
+	if n < 2 {
+		return
+	}
+	last, prev := parents[n-1], parents[n-2]
+	for len(last.keys) < min {
+		// Move prev's last child to the front of last, rotating the
+		// separator: the moved subtree's min becomes last's min.
+		movedMin := prev.keys[len(prev.keys)-1]
+		last.keys = append([]K{(*mins)[n-1]}, last.keys...)
+		(*mins)[n-1] = movedMin
+		prev.keys = prev.keys[:len(prev.keys)-1]
+		last.children = append([]*node[K, V]{prev.children[len(prev.children)-1]}, last.children...)
+		prev.children = prev.children[:len(prev.children)-1]
+	}
+}

@@ -1,0 +1,99 @@
+package btree
+
+import "fmt"
+
+// Validate checks every structural invariant of the tree: uniform leaf
+// depth, node fill bounds (root exempt), strictly sorted keys, separator
+// fences, an intact leaf chain, and a consistent size counter. It returns
+// the first violation found.
+func (t *Tree[K, V]) Validate() error {
+	type bound struct {
+		has bool
+		key K
+	}
+	leafDepth := -1
+	var prevLeaf *node[K, V]
+	keyCount := 0
+
+	var walk func(n *node[K, V], depth int, lo, hi bound) error
+	walk = func(n *node[K, V], depth int, lo, hi bound) error {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return fmt.Errorf("btree: keys out of order at depth %d", depth)
+			}
+		}
+		if len(n.keys) > 0 {
+			if lo.has && n.keys[0] < lo.key {
+				return fmt.Errorf("btree: key below lower fence at depth %d", depth)
+			}
+			if hi.has && n.keys[len(n.keys)-1] >= hi.key {
+				return fmt.Errorf("btree: key at or above upper fence at depth %d", depth)
+			}
+		}
+		if n.leaf() {
+			if len(n.keys) != len(n.vals) {
+				return fmt.Errorf("btree: leaf with %d keys but %d values", len(n.keys), len(n.vals))
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("btree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			if n != t.root && len(n.keys) < t.cfg.LeafCap/2 {
+				return fmt.Errorf("btree: leaf underflow (%d keys)", len(n.keys))
+			}
+			if len(n.keys) > t.cfg.LeafCap {
+				return fmt.Errorf("btree: leaf overflow (%d keys)", len(n.keys))
+			}
+			if prevLeaf != nil && prevLeaf.next != n {
+				return fmt.Errorf("btree: broken leaf chain")
+			}
+			prevLeaf = n
+			keyCount += len(n.keys)
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: branch with %d keys and %d children", len(n.keys), len(n.children))
+		}
+		if n != t.root && len(n.keys) < t.cfg.BranchCap/2 {
+			return fmt.Errorf("btree: branch underflow (%d keys)", len(n.keys))
+		}
+		if len(n.keys) > t.cfg.BranchCap {
+			return fmt.Errorf("btree: branch overflow (%d keys)", len(n.keys))
+		}
+		if n == t.root && len(n.keys) == 0 {
+			return fmt.Errorf("btree: branch root without keys")
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = bound{true, n.keys[i-1]}
+			}
+			if i < len(n.keys) {
+				chi = bound{true, n.keys[i]}
+			}
+			if err := walk(c, depth+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, bound{}, bound{}); err != nil {
+		return err
+	}
+	if keyCount != t.size {
+		return fmt.Errorf("btree: size %d but %d keys present", t.size, keyCount)
+	}
+	// The leaf chain must start at first and end after the rightmost leaf.
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	if n != t.first {
+		return fmt.Errorf("btree: first does not point at the leftmost leaf")
+	}
+	if prevLeaf != nil && prevLeaf.next != nil {
+		return fmt.Errorf("btree: rightmost leaf has a successor")
+	}
+	return nil
+}

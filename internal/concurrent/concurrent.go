@@ -1,0 +1,141 @@
+// Package concurrent adds multi-threaded access on top of the index
+// structures — the first of the paper's two future-work directions (§7:
+// "we will investigate the impact of multi-threading, multi-core, and
+// many-core architectures").
+//
+// Two building blocks are provided. Locked wraps any of the maps in this
+// module with a readers-writer lock: searches run concurrently (they are
+// pure reads — the SIMD search never mutates node state), updates are
+// exclusive. ParallelSearch shards a probe batch over worker goroutines
+// against a read-only index, the data-parallel pattern the paper
+// anticipates for concurrently used index structures.
+package concurrent
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/keys"
+)
+
+// Map is the common mutable interface of every index in this module
+// (Seg-Tree, Seg-Trie, optimized Seg-Trie, baseline B+-Tree).
+type Map[K keys.Key, V any] interface {
+	Get(K) (V, bool)
+	Put(K, V) bool
+	Delete(K) bool
+	Len() int
+}
+
+// Locked makes any Map safe for concurrent use: lookups share a read
+// lock, mutations take the write lock.
+type Locked[K keys.Key, V any] struct {
+	mu sync.RWMutex
+	m  Map[K, V]
+}
+
+// NewLocked wraps m. The caller must not use m directly afterwards.
+func NewLocked[K keys.Key, V any](m Map[K, V]) *Locked[K, V] {
+	return &Locked[K, V]{m: m}
+}
+
+// Get returns the value stored under key, if present.
+func (l *Locked[K, V]) Get(key K) (V, bool) {
+	l.mu.RLock()
+	v, ok := l.m.Get(key)
+	l.mu.RUnlock()
+	return v, ok
+}
+
+// Contains reports whether key is present.
+func (l *Locked[K, V]) Contains(key K) bool {
+	_, ok := l.Get(key)
+	return ok
+}
+
+// Put stores val under key, returning true when the key was new.
+func (l *Locked[K, V]) Put(key K, val V) bool {
+	l.mu.Lock()
+	added := l.m.Put(key, val)
+	l.mu.Unlock()
+	return added
+}
+
+// Delete removes key, reporting whether it was present.
+func (l *Locked[K, V]) Delete(key K) bool {
+	l.mu.Lock()
+	removed := l.m.Delete(key)
+	l.mu.Unlock()
+	return removed
+}
+
+// Len reports the number of items.
+func (l *Locked[K, V]) Len() int {
+	l.mu.RLock()
+	n := l.m.Len()
+	l.mu.RUnlock()
+	return n
+}
+
+// View runs fn with the read lock held, for multi-step read transactions
+// (range scans, iterators) that need a consistent snapshot.
+func (l *Locked[K, V]) View(fn func(m Map[K, V])) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	fn(l.m)
+}
+
+// Update runs fn with the write lock held, for multi-step mutations.
+func (l *Locked[K, V]) Update(fn func(m Map[K, V])) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn(l.m)
+}
+
+// Getter is the read-only face of an index.
+type Getter[K keys.Key, V any] interface {
+	Get(K) (V, bool)
+}
+
+// ParallelSearch probes a read-only index from `workers` goroutines
+// (0 = GOMAXPROCS) and returns the number of hits. The index must not be
+// mutated concurrently; searches themselves are side-effect free, so no
+// locking is needed.
+func ParallelSearch[K keys.Key, V any](idx Getter[K, V], probes []K, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(probes) {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	hits := make([]int, workers)
+	chunk := (len(probes) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(probes) {
+			hi = len(probes)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := 0
+			for _, p := range probes[lo:hi] {
+				if _, ok := idx.Get(p); ok {
+					h++
+				}
+			}
+			hits[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	return total
+}

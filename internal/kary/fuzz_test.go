@@ -1,0 +1,78 @@
+package kary
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bitmask"
+)
+
+// FuzzSearchUint16 feeds arbitrary byte strings as key sets and probes and
+// checks every search path against the scalar binary search.
+func FuzzSearchUint16(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint16(3), false)
+	f.Add([]byte{0xFF, 0xFE, 0x00, 0x01}, uint16(0xFFFE), true)
+	f.Add([]byte{}, uint16(9), false)
+	f.Fuzz(func(t *testing.T, raw []byte, probe uint16, df bool) {
+		set := map[uint16]struct{}{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			set[uint16(raw[i])|uint16(raw[i+1])<<8] = struct{}{}
+		}
+		sorted := make([]uint16, 0, len(set))
+		for k := range set {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		layout := BreadthFirst
+		if df {
+			layout = DepthFirst
+		}
+		tree := Build(sorted, layout)
+		if err := tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := UpperBound(sorted, probe)
+		wantFound := want > 0 && sorted[want-1] == probe
+		for _, ev := range bitmask.Evaluators {
+			if got := tree.Search(probe, ev); got != want {
+				t.Fatalf("%v search(%d): got %d want %d", ev, probe, got, want)
+			}
+		}
+		rank, found := tree.Lookup(probe, bitmask.Popcount)
+		if rank != want || found != wantFound {
+			t.Fatalf("lookup(%d): got (%d,%v) want (%d,%v)", probe, rank, found, want, wantFound)
+		}
+		if got := tree.SearchWithEquality(probe, bitmask.Popcount); got != want {
+			t.Fatalf("eq-search(%d): got %d want %d", probe, got, want)
+		}
+	})
+}
+
+// FuzzInsertDelete drives mutations from a fuzzed op stream against a map.
+func FuzzInsertDelete(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 130, 2, 4})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tree := BuildUnchecked[uint8](nil, BreadthFirst)
+		ref := map[uint8]bool{}
+		for _, op := range ops {
+			k := op & 0x7F
+			if op&0x80 == 0 {
+				if tree.Insert(k) != !ref[k] {
+					t.Fatalf("insert %d", k)
+				}
+				ref[k] = true
+			} else {
+				if tree.Delete(k) != ref[k] {
+					t.Fatalf("delete %d", k)
+				}
+				delete(ref, k)
+			}
+		}
+		if tree.Len() != len(ref) {
+			t.Fatalf("len %d want %d", tree.Len(), len(ref))
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

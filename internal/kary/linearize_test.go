@@ -1,0 +1,79 @@
+package kary
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPositionMapsAreBijections: for every geometry, the slot
+// transformation must map the sorted positions 0…n'−1 onto distinct slots
+// covering exactly the stored range — the property that makes
+// linearization invertible (DESIGN.md §7).
+func TestPositionMapsAreBijections(t *testing.T) {
+	for _, k := range []int{3, 5, 9, 17} {
+		for r := 1; r <= 4; r++ {
+			cap := pow(k, r) - 1
+			if cap > 100000 {
+				continue
+			}
+			// Perfect depth-first map over the full capacity.
+			seen := make([]bool, cap)
+			for s := 0; s < cap; s++ {
+				p := posDF(s, k, r)
+				if p < 0 || p >= cap {
+					t.Fatalf("k=%d r=%d: posDF(%d)=%d out of range", k, r, s, p)
+				}
+				if seen[p] {
+					t.Fatalf("k=%d r=%d: posDF collision at %d", k, r, p)
+				}
+				seen[p] = true
+			}
+			// Perfect breadth-first map.
+			seen = make([]bool, cap)
+			for s := 0; s < cap; s++ {
+				p := posBF(s, k, r)
+				if p < 0 || p >= cap {
+					t.Fatalf("k=%d r=%d: posBF(%d)=%d out of range", k, r, s, p)
+				}
+				if seen[p] {
+					t.Fatalf("k=%d r=%d: posBF collision at %d", k, r, p)
+				}
+				seen[p] = true
+			}
+			// Complete breadth-first map for every possible leaf count.
+			if r >= 2 {
+				upper := pow(k, r-1) - 1
+				for m := 1; m <= pow(k, r-1); m += pow(k, r-1)/3 + 1 {
+					total := upper + m*(k-1)
+					seen = make([]bool, total)
+					for s := 0; s < total; s++ {
+						p := posComplete(s, k, r, m)
+						if p < 0 || p >= total {
+							t.Fatalf("k=%d r=%d m=%d: posComplete(%d)=%d out of range",
+								k, r, m, s, p)
+						}
+						if seen[p] {
+							t.Fatalf("k=%d r=%d m=%d: collision at %d", k, r, m, p)
+						}
+						seen[p] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBFEqualsCompleteOnPerfectTrees: when the tree is perfect the
+// complete-tree map must coincide with Formula 1.
+func TestBFEqualsCompleteOnPerfectTrees(t *testing.T) {
+	f := func(sRaw uint16, kSel, rSel uint8) bool {
+		k := []int{3, 5, 9, 17}[kSel%4]
+		r := int(rSel%3) + 1
+		cap := pow(k, r) - 1
+		s := int(sRaw) % cap
+		return posBF(s, k, r) == posComplete(s, k, r, pow(k, r-1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

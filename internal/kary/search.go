@@ -1,0 +1,258 @@
+package kary
+
+import (
+	"repro/internal/bitmask"
+	"repro/internal/keys"
+	"repro/internal/simd"
+)
+
+// Search returns the index, in the original sorted order, of the first key
+// strictly greater than v — the same value binary search on the sorted list
+// yields, in [0, Len()]. It runs the paper's SIMD sequence once per k-ary
+// tree level, dispatching to Algorithm 5 (breadth-first) or Algorithm 4
+// (depth-first), and evaluates each comparison bitmask with ev.
+func (t *Tree[K]) Search(v K, ev bitmask.Evaluator) int {
+	return t.SearchP(v, simd.NewSearch(int(t.w), (uint64(v)^t.obias)&t.lmask), ev)
+}
+
+// SearchP is Search with a caller-prepared search register (see Prepare),
+// so one tree descent broadcasts the key only once.
+func (t *Tree[K]) SearchP(v K, search simd.Search, ev bitmask.Evaluator) int {
+	if t.n == 0 {
+		return 0
+	}
+	// §3.3: replenishment check. If v is not smaller than S_max, no key is
+	// greater; this also guarantees the descent below never reads pad-only
+	// regions outside the truncated storage.
+	if v >= t.smax {
+		return t.n
+	}
+	if t.layout == DepthFirst {
+		return t.searchDF(search, ev)
+	}
+	return t.searchBF(search, ev)
+}
+
+// searchBF is the paper's Algorithm 5: breadth-first search using SIMD,
+// here over a complete k-ary tree. The upper r−1 levels are perfect, so
+// pLevel accumulates one child digit per level and doubles as the node
+// index within the next level. The left-packed last level has m nodes; a
+// descent to a missing node means the insertion point lies behind every
+// existing leaf, giving rank pLevel + m·(k−1) directly. The five-step
+// SIMD sequence of §2.1 (load, broadcast, compare, movemask, evaluate) is
+// written out in the loop body so it compiles to straight-line code.
+func (t *Tree[K]) searchBF(search simd.Search, ev bitmask.Evaluator) int {
+	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
+	data := t.data
+
+	pLevel := 0
+	base := 0   // first slot of the current level
+	lvlCnt := 1 // nodes on the current level
+	for R := 0; R < t.r-1; R++ {
+		keyIdx := base + pLevel*lanes
+		mask := search.GtMask(data[keyIdx*w:])
+		pLevel = pLevel*k + evaluate(ev, mask, w)
+		base += lvlCnt * lanes
+		lvlCnt *= k
+	}
+	if pLevel >= t.m {
+		// Missing last-level node: v is larger than every key of all m
+		// existing leaves, which therefore all count as ≤ v.
+		return clamp(pLevel+t.m*lanes, t.n)
+	}
+	mask := search.GtMask(data[(base+pLevel*lanes)*w:])
+	return clamp(pLevel*k+evaluate(ev, mask, w), t.n)
+}
+
+// evaluate dispatches the bitmask evaluation with an inlined fast path for
+// the paper's preferred popcount algorithm.
+func evaluate(ev bitmask.Evaluator, mask uint16, w int) int {
+	if ev == bitmask.Popcount {
+		return bitmask.PopcountEval(mask, w)
+	}
+	return ev.Evaluate(mask, w)
+}
+
+// searchDF is the paper's Algorithm 4: depth-first search using SIMD.
+// subSize tracks the per-child key capacity of the shrinking perfect
+// subtree; the key pointer jumps over the chosen number of subtrees.
+func (t *Tree[K]) searchDF(search simd.Search, ev bitmask.Evaluator) int {
+	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
+	data := t.data
+
+	subSize := pow(k, t.r) - 1
+	pLevel := 0
+	keyIdx := 0
+	for subSize > 0 {
+		pLevel *= k
+		subSize = (subSize - lanes) / k
+		if keyIdx >= t.stored {
+			// Truncated pure-pad region: every pad equals S_max > v, so
+			// the digit of this and all deeper levels is 0.
+			continue
+		}
+		mask := search.GtMask(data[keyIdx*w:])
+		position := evaluate(ev, mask, w)
+		keyIdx += lanes + subSize*position
+		pLevel += position
+	}
+	return clamp(pLevel, t.n)
+}
+
+// Lookup combines Search with a membership test: it returns the rank (the
+// index of the first key greater than v) and whether v itself is present.
+// The equality information falls out of the descent for free — every
+// visited node is tested with a three-instruction any-lane-equal check on
+// the register that is already loaded, so callers avoid the position
+// transformation a separate At(rank-1) comparison would cost.
+func (t *Tree[K]) Lookup(v K, ev bitmask.Evaluator) (rank int, found bool) {
+	return t.LookupP(v, simd.NewSearch(int(t.w), (uint64(v)^t.obias)&t.lmask), ev)
+}
+
+// LookupP is Lookup with a caller-prepared search register (see Prepare).
+func (t *Tree[K]) LookupP(v K, search simd.Search, ev bitmask.Evaluator) (rank int, found bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	if v >= t.smax {
+		// S_max is always a real key; larger keys cannot be present.
+		return t.n, v == t.smax
+	}
+	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
+	data := t.data
+
+	if t.layout == DepthFirst {
+		subSize := pow(k, t.r) - 1
+		pLevel := 0
+		keyIdx := 0
+		for subSize > 0 {
+			pLevel *= k
+			subSize = (subSize - lanes) / k
+			if keyIdx >= t.stored {
+				continue
+			}
+			mask, eq := search.GtMaskEq(data[keyIdx*w:])
+			found = found || eq
+			position := evaluate(ev, mask, w)
+			keyIdx += lanes + subSize*position
+			pLevel += position
+		}
+		return clamp(pLevel, t.n), found
+	}
+
+	pLevel := 0
+	base := 0
+	lvlCnt := 1
+	for R := 0; R < t.r-1; R++ {
+		mask, eq := search.GtMaskEq(data[(base+pLevel*lanes)*w:])
+		found = found || eq
+		pLevel = pLevel*k + evaluate(ev, mask, w)
+		base += lvlCnt * lanes
+		lvlCnt *= k
+	}
+	if pLevel >= t.m {
+		return clamp(pLevel+t.m*lanes, t.n), found
+	}
+	mask, eq := search.GtMaskEq(data[(base+pLevel*lanes)*w:])
+	found = found || eq
+	return clamp(pLevel*k+evaluate(ev, mask, w), t.n), found
+}
+
+func clamp(x, hi int) int {
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// SearchWithEquality is the §3.1 extension the paper discusses: each level
+// additionally compares for equality (no extra load — both registers are
+// already resident in SIMD registers) and terminates the descent early on
+// a hit. The paper expects no improvement for flat trees;
+// BenchmarkAblationEqualityCheck measures it. Only the breadth-first
+// layout is supported, matching the paper's discussion.
+func (t *Tree[K]) SearchWithEquality(v K, ev bitmask.Evaluator) int {
+	if t.n == 0 {
+		return 0
+	}
+	if v >= t.smax {
+		return t.n
+	}
+	if t.layout != BreadthFirst {
+		return t.Search(v, ev)
+	}
+	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
+	search := simd.NewSearch(w, (uint64(v)^t.obias)&t.lmask)
+
+	pLevel := 0
+	base := 0
+	lvlCnt := 1
+	for R := 0; R < t.r-1; R++ {
+		keyIdx := base + pLevel*lanes
+		eqMask := search.EqMask(t.data[keyIdx*w:])
+		if eqMask != 0 {
+			// v equals key i of upper node j at level R. That key is the
+			// (t+1)-th upper key in order, with t+1 = (j·k+i+1)·k^(r−2−R),
+			// and each of the first min(t+1, m) upper keys is preceded by
+			// one full leaf.
+			j := pLevel
+			i := firstSetLane(eqMask, w)
+			t1 := (j*k + i + 1) * pow(k, t.r-2-R)
+			leaves := t1
+			if leaves > t.m {
+				leaves = t.m
+			}
+			return clamp(t1+leaves*lanes, t.n)
+		}
+		mask := search.GtMask(t.data[keyIdx*w:])
+		pLevel = pLevel*k + evaluate(ev, mask, w)
+		base += lvlCnt * lanes
+		lvlCnt *= k
+	}
+	if pLevel >= t.m {
+		return clamp(pLevel+t.m*lanes, t.n)
+	}
+	keyIdx := base + pLevel*lanes
+	eqMask := search.EqMask(t.data[keyIdx*w:])
+	if eqMask != 0 {
+		return clamp(pLevel*k+firstSetLane(eqMask, w)+1, t.n)
+	}
+	mask := search.GtMask(t.data[keyIdx*w:])
+	return clamp(pLevel*k+evaluate(ev, mask, w), t.n)
+}
+
+// firstSetLane returns the index of the first lane whose mask bits are set.
+func firstSetLane(mask uint16, width int) int {
+	i := 0
+	for mask&1 == 0 {
+		mask >>= uint(width)
+		i++
+	}
+	return i
+}
+
+// UpperBound is the baseline the paper compares against: classic binary
+// search returning the index of the first element strictly greater than v.
+func UpperBound[K keys.Key](xs []K, v K) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SequentialUpperBound is the sequential scan strategy mentioned among the
+// classic inner-node search strategies (§1); used as an extra baseline.
+func SequentialUpperBound[K keys.Key](xs []K, v K) int {
+	for i, x := range xs {
+		if x > v {
+			return i
+		}
+	}
+	return len(xs)
+}

@@ -1,0 +1,116 @@
+package kary
+
+import (
+	"repro/internal/bitmask"
+	"repro/internal/keys"
+)
+
+// padEvaluator is the evaluator used for internal maintenance searches;
+// Popcount is the paper's overall winner (§5.2).
+const padEvaluator = bitmask.Popcount
+
+// Data-manipulation operations (§3.2). The general case re-sorts and
+// re-linearizes the keys — the paper's naive approach, acceptable because
+// the Seg-Tree targets read-mostly workloads. Continuous filling with
+// ascending keys takes the paper's fast path: the new key is copied
+// directly to its slot and no existing key moves, because the slot
+// transformation depends only on the node geometry (k, r, m), which is
+// unchanged while pad slots remain.
+
+// Insert adds x to the tree, reporting whether it was absent. Appending a
+// new maximum into free pad slots is O(k); any other insert rebuilds the
+// linearized storage.
+func (t *Tree[K]) Insert(x K) bool {
+	if t.n > 0 {
+		if _, found := t.Lookup(x, padEvaluator); found {
+			return false
+		}
+	}
+	if t.n > 0 && x > t.smax && levels(t.n+1, int(t.k)) == t.r {
+		if t.layout == BreadthFirst && t.n < t.stored {
+			t.appendBF(x)
+			return true
+		}
+		if t.layout == DepthFirst {
+			t.appendDF(x)
+			return true
+		}
+	}
+	ks := t.Keys()
+	pos := UpperBound(ks, x)
+	ks = append(ks, x)
+	copy(ks[pos+1:], ks[pos:])
+	ks[pos] = x
+	t.rebuild(ks)
+	return true
+}
+
+// appendBF writes a new maximum into the next pad slot of a breadth-first
+// tree with unchanged geometry and refreshes the remaining pads, which must
+// always equal S_max (§3.3).
+func (t *Tree[K]) appendBF(x K) {
+	k := keys.K[K]()
+	keys.PutAt(t.data, posComplete(t.n, k, t.r, t.m), x)
+	for s := t.n + 1; s < t.stored; s++ {
+		keys.PutAt(t.data, posComplete(s, k, t.r, t.m), x)
+	}
+	t.smax = x
+	t.n++
+}
+
+// appendDF writes a new maximum into its fixed depth-first slot —
+// positions depend only on (k, r), so no existing key moves — growing the
+// truncated storage to the covering node boundary if needed, and
+// refreshing the pads (slots still holding copies of the old maximum).
+func (t *Tree[K]) appendDF(x K) {
+	k, lanes := int(t.k), int(t.lanes)
+	p := posDF(t.n, k, t.r)
+	if need := (p/lanes + 1) * lanes; need > t.stored {
+		grown := make([]byte, need*int(t.w))
+		copy(grown, t.data)
+		for s := t.stored; s < need; s++ {
+			keys.PutAt(grown, s, t.smax)
+		}
+		t.data = grown
+		t.stored = need
+	}
+	// Every slot equal to the old maximum is a pad copy, except the slot
+	// of the real old maximum itself.
+	oldMaxSlot := posDF(t.n-1, k, t.r)
+	for s := 0; s < t.stored; s++ {
+		if s != oldMaxSlot && keys.GetAt[K](t.data, s) == t.smax {
+			keys.PutAt(t.data, s, x)
+		}
+	}
+	keys.PutAt(t.data, p, x)
+	t.smax = x
+	t.n++
+}
+
+// Delete removes x from the tree, reporting whether it was present. It
+// always rebuilds the linearized storage ("every random deletion leads to
+// a reordering operation", §3.2).
+func (t *Tree[K]) Delete(x K) bool {
+	if t.n == 0 {
+		return false
+	}
+	idx, found := t.Lookup(x, padEvaluator)
+	if !found {
+		return false
+	}
+	ks := t.Keys()
+	copy(ks[idx-1:], ks[idx:])
+	t.rebuild(ks[:len(ks)-1])
+	return true
+}
+
+// Contains reports whether x is present.
+func (t *Tree[K]) Contains(x K) bool {
+	_, found := t.Lookup(x, padEvaluator)
+	return found
+}
+
+// rebuild replaces the tree contents with a fresh linearization of sorted.
+func (t *Tree[K]) rebuild(sorted []K) {
+	*t = *BuildUnchecked(sorted, t.layout)
+}

@@ -1,0 +1,45 @@
+package segtree
+
+import (
+	"repro/internal/kary"
+	"repro/internal/simd"
+)
+
+// GetBatch looks up many keys with a level-synchronized descent: all
+// probes advance through the tree one level at a time, so the independent
+// node loads of different probes overlap in the memory system
+// (memory-level parallelism) instead of each lookup serializing its own
+// cache-miss chain. For memory-bound working sets this recovers
+// throughput a one-at-a-time descent cannot — the batch-oriented
+// processing style the paper's GPU outlook (§7) anticipates.
+//
+// It returns the values and a parallel found mask, in input order.
+func (t *Tree[K, V]) GetBatch(ks []K) ([]V, []bool) {
+	n := len(ks)
+	vals := make([]V, n)
+	found := make([]bool, n)
+	if n == 0 {
+		return vals, found
+	}
+	ev := t.cfg.Evaluator
+	searches := make([]simd.Search, n)
+	nodes := make([]*node[K, V], n)
+	for i, k := range ks {
+		searches[i] = kary.Prepare(k)
+		nodes[i] = t.root
+	}
+	// All leaves sit at the same depth, so the whole batch crosses branch
+	// levels in lockstep.
+	for depth := t.Height(); depth > 1; depth-- {
+		for i, nd := range nodes {
+			nodes[i] = nd.children[nd.kt.SearchP(ks[i], searches[i], ev)]
+		}
+	}
+	for i, nd := range nodes {
+		if pos, ok := nd.kt.LookupP(ks[i], searches[i], ev); ok {
+			vals[i] = nd.vals[pos-1]
+			found[i] = true
+		}
+	}
+	return vals, found
+}

@@ -1,0 +1,47 @@
+package segtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmask"
+	"repro/internal/kary"
+)
+
+func TestGetBatchMatchesGet(t *testing.T) {
+	for _, layout := range kary.Layouts {
+		cfg := Config{LeafCap: 6, BranchCap: 6, Layout: layout, Evaluator: bitmask.Popcount}
+		rng := rand.New(rand.NewSource(161))
+		tr := New[uint32, int](cfg)
+		for i := 0; i < 5000; i++ {
+			tr.Put(rng.Uint32()%20000, i)
+		}
+		probes := make([]uint32, 2000)
+		for i := range probes {
+			probes[i] = rng.Uint32() % 20000
+		}
+		vals, found := tr.GetBatch(probes)
+		for i, p := range probes {
+			wv, wok := tr.Get(p)
+			if found[i] != wok || (wok && vals[i] != wv) {
+				t.Fatalf("%v: batch[%d] key %d: got (%d,%v) want (%d,%v)",
+					layout, i, p, vals[i], found[i], wv, wok)
+			}
+		}
+	}
+}
+
+func TestGetBatchEmptyAndEdge(t *testing.T) {
+	tr := NewDefault[uint64, int]()
+	if vals, found := tr.GetBatch(nil); len(vals) != 0 || len(found) != 0 {
+		t.Fatal("empty batch")
+	}
+	if _, found := tr.GetBatch([]uint64{1, 2}); found[0] || found[1] {
+		t.Fatal("empty tree batch")
+	}
+	tr.Put(5, 50)
+	vals, found := tr.GetBatch([]uint64{4, 5, 6})
+	if found[0] || !found[1] || found[2] || vals[1] != 50 {
+		t.Fatalf("edge batch: %v %v", vals, found)
+	}
+}

@@ -1,0 +1,52 @@
+package segtree
+
+import (
+	"testing"
+
+	"repro/internal/bitmask"
+	"repro/internal/kary"
+)
+
+// FuzzTreeOps drives a fuzzed operation stream through the Seg-Tree and a
+// reference map; every 64 operations the structural invariants are
+// checked.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 128, 1, 64, 200, 255})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		cfg := Config{LeafCap: 4, BranchCap: 4, Layout: kary.DepthFirst, Evaluator: bitmask.Popcount}
+		tree := New[uint8, int](cfg)
+		ref := map[uint8]int{}
+		for i, op := range ops {
+			k := op & 0x7F
+			if op&0x80 == 0 {
+				_, existed := ref[k]
+				if tree.Put(k, i) == existed {
+					t.Fatalf("put %d", k)
+				}
+				ref[k] = i
+			} else {
+				_, existed := ref[k]
+				if tree.Delete(k) != existed {
+					t.Fatalf("delete %d", k)
+				}
+				delete(ref, k)
+			}
+			if i%64 == 63 {
+				if err := tree.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if tree.Len() != len(ref) {
+			t.Fatalf("len %d want %d", tree.Len(), len(ref))
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range ref {
+			if got, ok := tree.Get(k); !ok || got != v {
+				t.Fatalf("get %d", k)
+			}
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package segtree
+
+import (
+	"fmt"
+
+	"repro/internal/kary"
+	"repro/internal/keys"
+)
+
+// setKeys replaces a node's key storage with a fresh linearization — the
+// §3.2 reordering step. It touches only this node, the paper's locality
+// property.
+func (t *Tree[K, V]) setKeys(n *node[K, V], ks []K) {
+	n.kt = *kary.BuildUnchecked(ks, t.cfg.Layout)
+}
+
+// Put stores val under key, returning true when the key was newly inserted
+// and false when an existing value was replaced.
+func (t *Tree[K, V]) Put(key K, val V) bool {
+	sep, right, added := t.insert(t.root, key, val)
+	if right != nil {
+		root := &node[K, V]{children: []*node[K, V]{t.root, right}}
+		t.setKeys(root, []K{sep})
+		t.root = root
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// insert descends using k-ary search, inserts at the leaf, and propagates
+// splits upward exactly like the baseline B+-Tree — the traversal and
+// split/merge machinery is unaffected by the adaption (§3.1).
+func (t *Tree[K, V]) insert(n *node[K, V], key K, val V) (sep K, right *node[K, V], added bool) {
+	ev := t.cfg.Evaluator
+	if n.leaf() {
+		pos, found := n.kt.Lookup(key, ev)
+		if found {
+			n.vals[pos-1] = val
+			return sep, nil, false
+		}
+		// Ascending appends take the kary fast path; anything else
+		// re-linearizes this node's keys.
+		n.kt.Insert(key)
+		n.vals = append(n.vals, val)
+		copy(n.vals[pos+1:], n.vals[pos:])
+		n.vals[pos] = val
+		if n.kt.Len() <= t.cfg.LeafCap {
+			return sep, nil, true
+		}
+		ks := n.kt.Keys()
+		mid := len(ks) / 2
+		r := &node[K, V]{
+			vals: append([]V(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		t.setKeys(r, ks[mid:])
+		t.setKeys(n, ks[:mid])
+		n.vals = n.vals[:mid]
+		n.next = r
+		return ks[mid], r, true
+	}
+
+	pos := n.kt.Search(key, ev)
+	sep, right, added = t.insert(n.children[pos], key, val)
+	if right == nil {
+		return sep, nil, added
+	}
+	ks := n.kt.Keys()
+	ks = append(ks, sep)
+	copy(ks[pos+1:], ks[pos:])
+	ks[pos] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[pos+2:], n.children[pos+1:])
+	n.children[pos+1] = right
+	if len(ks) <= t.cfg.BranchCap {
+		t.setKeys(n, ks)
+		return sep, nil, added
+	}
+	mid := len(ks) / 2
+	upSep := ks[mid]
+	r := &node[K, V]{
+		children: append([]*node[K, V](nil), n.children[mid+1:]...),
+	}
+	t.setKeys(r, ks[mid+1:])
+	t.setKeys(n, ks[:mid])
+	n.children = n.children[:mid+1]
+	return upSep, r, added
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	removed := t.remove(t.root, key)
+	if removed {
+		t.size--
+	}
+	if !t.root.leaf() && t.root.kt.Len() == 0 {
+		t.root = t.root.children[0]
+	}
+	return removed
+}
+
+func (t *Tree[K, V]) remove(n *node[K, V], key K) bool {
+	ev := t.cfg.Evaluator
+	if n.leaf() {
+		pos, found := n.kt.Lookup(key, ev)
+		if !found {
+			return false
+		}
+		n.kt.Delete(key)
+		n.vals = append(n.vals[:pos-1], n.vals[pos:]...)
+		return true
+	}
+	pos := n.kt.Search(key, ev)
+	removed := t.remove(n.children[pos], key)
+	if removed {
+		t.fixChild(n, pos)
+	}
+	return removed
+}
+
+func (t *Tree[K, V]) minKeys(n *node[K, V]) int {
+	if n.leaf() {
+		return t.cfg.LeafCap / 2
+	}
+	return t.cfg.BranchCap / 2
+}
+
+func (t *Tree[K, V]) fixChild(parent *node[K, V], i int) {
+	child := parent.children[i]
+	min := t.minKeys(child)
+	if child.kt.Len() >= min {
+		return
+	}
+	if i > 0 && parent.children[i-1].kt.Len() > min {
+		t.borrowFromLeft(parent, i)
+		return
+	}
+	if i+1 < len(parent.children) && parent.children[i+1].kt.Len() > min {
+		t.borrowFromRight(parent, i)
+		return
+	}
+	if i > 0 {
+		t.merge(parent, i-1)
+	} else {
+		t.merge(parent, 0)
+	}
+}
+
+func (t *Tree[K, V]) borrowFromLeft(parent *node[K, V], i int) {
+	child, left := parent.children[i], parent.children[i-1]
+	lk := left.kt.Keys()
+	ck := child.kt.Keys()
+	pk := parent.kt.Keys()
+	last := len(lk) - 1
+	if child.leaf() {
+		child.vals = append([]V{left.vals[last]}, child.vals...)
+		left.vals = left.vals[:last]
+		t.setKeys(child, append([]K{lk[last]}, ck...))
+		t.setKeys(left, lk[:last])
+		pk[i-1] = lk[last]
+		t.setKeys(parent, pk)
+		return
+	}
+	t.setKeys(child, append([]K{pk[i-1]}, ck...))
+	pk[i-1] = lk[last]
+	t.setKeys(parent, pk)
+	t.setKeys(left, lk[:last])
+	child.children = append([]*node[K, V]{left.children[len(left.children)-1]}, child.children...)
+	left.children = left.children[:len(left.children)-1]
+}
+
+func (t *Tree[K, V]) borrowFromRight(parent *node[K, V], i int) {
+	child, right := parent.children[i], parent.children[i+1]
+	rk := right.kt.Keys()
+	ck := child.kt.Keys()
+	pk := parent.kt.Keys()
+	if child.leaf() {
+		child.vals = append(child.vals, right.vals[0])
+		right.vals = right.vals[1:]
+		t.setKeys(child, append(ck, rk[0]))
+		t.setKeys(right, rk[1:])
+		pk[i] = rk[1]
+		t.setKeys(parent, pk)
+		return
+	}
+	t.setKeys(child, append(ck, pk[i]))
+	pk[i] = rk[0]
+	t.setKeys(parent, pk)
+	t.setKeys(right, rk[1:])
+	child.children = append(child.children, right.children[0])
+	right.children = right.children[1:]
+}
+
+func (t *Tree[K, V]) merge(parent *node[K, V], j int) {
+	left, right := parent.children[j], parent.children[j+1]
+	lk := left.kt.Keys()
+	rk := right.kt.Keys()
+	pk := parent.kt.Keys()
+	if left.leaf() {
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+		t.setKeys(left, append(lk, rk...))
+	} else {
+		lk = append(lk, pk[j])
+		t.setKeys(left, append(lk, rk...))
+		left.children = append(left.children, right.children...)
+	}
+	t.setKeys(parent, append(pk[:j], pk[j+1:]...))
+	parent.children = append(parent.children[:j+1], parent.children[j+2:]...)
+}
+
+// BulkLoad builds a tree from strictly ascending keys and their values,
+// filling every node completely — the paper's initial-filling case (§3.2),
+// which linearizes each node exactly once. It panics on unsorted or
+// duplicate keys or mismatched slice lengths.
+func BulkLoad[K keys.Key, V any](cfg Config, ks []K, vs []V) *Tree[K, V] {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if len(ks) != len(vs) {
+		panic(fmt.Sprintf("segtree: %d keys but %d values", len(ks), len(vs)))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			panic(fmt.Sprintf("segtree: bulk-load keys not strictly ascending at index %d", i))
+		}
+	}
+	t := New[K, V](cfg)
+	if len(ks) == 0 {
+		return t
+	}
+	t.size = len(ks)
+
+	type part struct {
+		keys []K
+		node *node[K, V]
+	}
+	var leaves []part
+	for off := 0; off < len(ks); off += cfg.LeafCap {
+		end := off + cfg.LeafCap
+		if end > len(ks) {
+			end = len(ks)
+		}
+		leaves = append(leaves, part{keys: append([]K(nil), ks[off:end]...)})
+		leaves[len(leaves)-1].node = &node[K, V]{
+			vals: append([]V(nil), vs[off:end]...),
+		}
+	}
+	// Rebalance the tail so the last leaf never underflows.
+	if n := len(leaves); n >= 2 && len(leaves[n-1].keys) < cfg.LeafCap/2 {
+		need := cfg.LeafCap/2 - len(leaves[n-1].keys)
+		prev, last := &leaves[n-2], &leaves[n-1]
+		cut := len(prev.keys) - need
+		last.keys = append(append([]K(nil), prev.keys[cut:]...), last.keys...)
+		last.node.vals = append(append([]V(nil), prev.node.vals[cut:]...), last.node.vals...)
+		prev.keys = prev.keys[:cut]
+		prev.node.vals = prev.node.vals[:cut]
+	}
+	for i := range leaves {
+		t.setKeys(leaves[i].node, leaves[i].keys)
+		if i+1 < len(leaves) {
+			leaves[i].node.next = leaves[i+1].node
+		}
+	}
+	t.first = leaves[0].node
+
+	level := make([]*node[K, V], len(leaves))
+	mins := make([]K, len(leaves))
+	for i := range leaves {
+		level[i] = leaves[i].node
+		mins[i] = leaves[i].keys[0]
+	}
+	for len(level) > 1 {
+		fanout := cfg.BranchCap + 1
+		var parents []*node[K, V]
+		var parentMins []K
+		for off := 0; off < len(level); off += fanout {
+			end := off + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			p := &node[K, V]{children: append([]*node[K, V](nil), level[off:end]...)}
+			t.setKeys(p, mins[off+1:end])
+			parents = append(parents, p)
+			parentMins = append(parentMins, mins[off])
+		}
+		// Repair an underfull last branch by shifting children left.
+		if n := len(parents); n >= 2 && parents[n-1].kt.Len() < cfg.BranchCap/2 {
+			last, prev := parents[n-1], parents[n-2]
+			lk := last.kt.Keys()
+			pk := prev.kt.Keys()
+			for len(lk) < cfg.BranchCap/2 {
+				movedMin := pk[len(pk)-1]
+				lk = append([]K{parentMins[n-1]}, lk...)
+				parentMins[n-1] = movedMin
+				pk = pk[:len(pk)-1]
+				last.children = append([]*node[K, V]{prev.children[len(prev.children)-1]}, last.children...)
+				prev.children = prev.children[:len(prev.children)-1]
+			}
+			t.setKeys(last, lk)
+			t.setKeys(prev, pk)
+		}
+		level = parents
+		mins = parentMins
+	}
+	t.root = level[0]
+	return t
+}

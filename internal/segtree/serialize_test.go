@@ -1,0 +1,142 @@
+package segtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitmask"
+	"repro/internal/kary"
+)
+
+func encInt(w io.Writer, v int) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	_, err := w.Write(b[:])
+	return err
+}
+
+func decInt(r io.Reader) (int, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	cfg := Config{LeafCap: 9, BranchCap: 7, Layout: kary.DepthFirst, Evaluator: bitmask.SwitchCase}
+	tr := New[int32, int](cfg)
+	rng := rand.New(rand.NewSource(141))
+	ref := map[int32]int{}
+	for i := 0; i < 5000; i++ {
+		k := int32(rng.Uint32())
+		tr.Put(k, i)
+		ref[k] = i
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Serialize(&buf, encInt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Deserialize[int32, int](&buf, decInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(ref) {
+		t.Fatalf("len %d want %d", got.Len(), len(ref))
+	}
+	if got.Config() != cfg {
+		t.Fatalf("config %+v want %+v", got.Config(), cfg)
+	}
+	for k, v := range ref {
+		if gv, ok := got.Get(k); !ok || gv != v {
+			t.Fatalf("key %d: got %d %v", k, gv, ok)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeEmptyTree(t *testing.T) {
+	tr := NewDefault[uint64, int]()
+	var buf bytes.Buffer
+	if err := tr.Serialize(&buf, encInt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Deserialize[uint64, int](&buf, decInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("len %d", got.Len())
+	}
+}
+
+func TestDeserializeRejectsCorruptStreams(t *testing.T) {
+	tr := NewDefault[uint32, int]()
+	for i := uint32(0); i < 100; i++ {
+		tr.Put(i, int(i))
+	}
+	var buf bytes.Buffer
+	if err := tr.Serialize(&buf, encInt); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	expectErr := func(name string, data []byte, wantSub string) {
+		t.Helper()
+		_, err := Deserialize[uint32, int](bytes.NewReader(data), decInt)
+		if err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q lacks %q", name, err, wantSub)
+		}
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	expectErr("bad magic", bad, "magic")
+
+	expectErr("empty stream", nil, "magic")
+	expectErr("truncated header", good[:6], "")
+	expectErr("truncated items", good[:len(good)-5], "")
+
+	// Wrong key width: deserialize a uint32 stream as uint64.
+	if _, err := Deserialize[uint64, int](bytes.NewReader(good), decInt); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	// Wrong signedness: deserialize a uint32 stream as int32.
+	if _, err := Deserialize[int32, int](bytes.NewReader(good), decInt); err == nil {
+		t.Fatal("signedness mismatch accepted")
+	}
+
+	// Corrupt key ordering: flip a key byte in the payload region.
+	bad = append([]byte(nil), good...)
+	// header = 4 magic + 4 header + 16 sizes = 24; item = 4 key + 8 value.
+	bad[24+12*3] = 0xFF
+	expectErr("unsorted keys", bad, "ascending")
+}
+
+func TestSerializePropagatesValueCodecErrors(t *testing.T) {
+	tr := NewDefault[uint32, int]()
+	tr.Put(1, 1)
+	errBoom := io.ErrClosedPipe
+	err := tr.Serialize(io.Discard, func(io.Writer, int) error { return errBoom })
+	if err != errBoom {
+		t.Fatalf("got %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Serialize(&buf, encInt); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Deserialize[uint32, int](&buf, func(io.Reader) (int, error) { return 0, errBoom })
+	if err == nil {
+		t.Fatal("decoder error swallowed")
+	}
+}

@@ -1,0 +1,96 @@
+package segtree
+
+import "fmt"
+
+// Validate checks every structural invariant of the tree: uniform leaf
+// depth, node fill bounds (root exempt), per-node kary invariants,
+// separator fences, an intact leaf chain, and a consistent size counter.
+func (t *Tree[K, V]) Validate() error {
+	type bound struct {
+		has bool
+		key K
+	}
+	leafDepth := -1
+	var prevLeaf *node[K, V]
+	keyCount := 0
+
+	var walk func(n *node[K, V], depth int, lo, hi bound) error
+	walk = func(n *node[K, V], depth int, lo, hi bound) error {
+		if err := n.kt.Validate(); err != nil {
+			return fmt.Errorf("segtree: node at depth %d: %w", depth, err)
+		}
+		ks := n.kt.Keys()
+		if len(ks) > 0 {
+			if lo.has && ks[0] < lo.key {
+				return fmt.Errorf("segtree: key below lower fence at depth %d", depth)
+			}
+			if hi.has && ks[len(ks)-1] >= hi.key {
+				return fmt.Errorf("segtree: key at or above upper fence at depth %d", depth)
+			}
+		}
+		if n.leaf() {
+			if len(ks) != len(n.vals) {
+				return fmt.Errorf("segtree: leaf with %d keys but %d values", len(ks), len(n.vals))
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("segtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			if n != t.root && len(ks) < t.cfg.LeafCap/2 {
+				return fmt.Errorf("segtree: leaf underflow (%d keys)", len(ks))
+			}
+			if len(ks) > t.cfg.LeafCap {
+				return fmt.Errorf("segtree: leaf overflow (%d keys)", len(ks))
+			}
+			if prevLeaf != nil && prevLeaf.next != n {
+				return fmt.Errorf("segtree: broken leaf chain")
+			}
+			prevLeaf = n
+			keyCount += len(ks)
+			return nil
+		}
+		if len(n.children) != len(ks)+1 {
+			return fmt.Errorf("segtree: branch with %d keys and %d children", len(ks), len(n.children))
+		}
+		if n != t.root && len(ks) < t.cfg.BranchCap/2 {
+			return fmt.Errorf("segtree: branch underflow (%d keys)", len(ks))
+		}
+		if len(ks) > t.cfg.BranchCap {
+			return fmt.Errorf("segtree: branch overflow (%d keys)", len(ks))
+		}
+		if n == t.root && len(ks) == 0 {
+			return fmt.Errorf("segtree: branch root without keys")
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = bound{true, ks[i-1]}
+			}
+			if i < len(ks) {
+				chi = bound{true, ks[i]}
+			}
+			if err := walk(c, depth+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, bound{}, bound{}); err != nil {
+		return err
+	}
+	if keyCount != t.size {
+		return fmt.Errorf("segtree: size %d but %d keys present", t.size, keyCount)
+	}
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	if n != t.first {
+		return fmt.Errorf("segtree: first does not point at the leftmost leaf")
+	}
+	if prevLeaf != nil && prevLeaf.next != nil {
+		return fmt.Errorf("segtree: rightmost leaf has a successor")
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package segtree
+
+import (
+	"testing"
+
+	"repro/internal/bitmask"
+	"repro/internal/kary"
+)
+
+// White-box corruption tests: Validate must catch damaged structure.
+
+func buildSmall(t *testing.T) *Tree[uint32, int] {
+	t.Helper()
+	cfg := Config{LeafCap: 4, BranchCap: 4, Layout: kary.BreadthFirst, Evaluator: bitmask.Popcount}
+	tr := New[uint32, int](cfg)
+	for i := 0; i < 64; i++ {
+		tr.Put(uint32(i*3), i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestValidateCatchesBrokenLeafChain(t *testing.T) {
+	tr := buildSmall(t)
+	tr.first.next = tr.first.next.next // skip a leaf
+	if err := tr.Validate(); err == nil {
+		t.Fatal("broken chain accepted")
+	}
+}
+
+func TestValidateCatchesWrongSize(t *testing.T) {
+	tr := buildSmall(t)
+	tr.size++
+	if err := tr.Validate(); err == nil {
+		t.Fatal("wrong size accepted")
+	}
+}
+
+func TestValidateCatchesValueCountMismatch(t *testing.T) {
+	tr := buildSmall(t)
+	tr.first.vals = tr.first.vals[:len(tr.first.vals)-1]
+	if err := tr.Validate(); err == nil {
+		t.Fatal("value mismatch accepted")
+	}
+}
+
+func TestValidateCatchesFenceViolation(t *testing.T) {
+	tr := buildSmall(t)
+	// Swap the key sets of two leaves: fences break.
+	a, b := tr.first, tr.first.next
+	ak, bk := a.kt.Keys(), b.kt.Keys()
+	tr.setKeys(a, bk)
+	tr.setKeys(b, ak)
+	if err := tr.Validate(); err == nil {
+		t.Fatal("fence violation accepted")
+	}
+}
+
+func TestValidateCatchesUnevenLeafDepth(t *testing.T) {
+	tr := buildSmall(t)
+	// Replace the last child of the root with a leaf (wrong depth).
+	leaf := &node[uint32, int]{}
+	tr.setKeys(leaf, []uint32{1 << 30})
+	leaf.vals = []int{0}
+	root := tr.root
+	root.children[len(root.children)-1] = leaf
+	if err := tr.Validate(); err == nil {
+		t.Fatal("uneven depth accepted")
+	}
+}
+
+func TestValidateCatchesOverflowingNode(t *testing.T) {
+	tr := buildSmall(t)
+	ks := tr.first.kt.Keys()
+	for i := 0; i < 10; i++ {
+		ks = append(ks, 1000000+uint32(i))
+	}
+	// Overflow the leaf and fix vals so only the overflow trips.
+	tr.setKeys(tr.first, ks)
+	for i := 0; i < 10; i++ {
+		tr.first.vals = append(tr.first.vals, 0)
+	}
+	tr.size += 10
+	if err := tr.Validate(); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package segtrie
+
+import "testing"
+
+// FuzzTrieOps drives a fuzzed operation stream through both trie variants
+// and a reference map.
+func FuzzTrieOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 128, 1, 64, 200, 255, 7, 7, 135})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := NewDefault[uint16, int]()
+		opt := NewOptimizedDefault[uint16, int]()
+		ref := map[uint16]int{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			k := uint16(ops[i])<<8 | uint16(ops[i+1])
+			switch ops[i] % 3 {
+			case 0, 1:
+				_, existed := ref[k]
+				if tr.Put(k, i) == existed || opt.Put(k, i) == existed {
+					t.Fatalf("put %d", k)
+				}
+				ref[k] = i
+			default:
+				_, existed := ref[k]
+				if tr.Delete(k) != existed || opt.Delete(k) != existed {
+					t.Fatalf("delete %d", k)
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) || opt.Len() != len(ref) {
+			t.Fatalf("len %d/%d want %d", tr.Len(), opt.Len(), len(ref))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get(k); !ok || got != v {
+				t.Fatalf("trie get %d", k)
+			}
+			if got, ok := opt.Get(k); !ok || got != v {
+				t.Fatalf("optimized get %d", k)
+			}
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package segtrie
+
+import "repro/internal/keys"
+
+// Iterators for both trie variants. A trie has no leaf chain, so the
+// cursor keeps an explicit descent stack of (node, position) frames; the
+// partial keys along the stack reassemble the current key. Mutating the
+// trie invalidates open iterators.
+
+// Iterator is a stateful cursor over a Trie in ascending key order.
+type Iterator[K keys.Key, V any] struct {
+	t     *Trie[K, V]
+	stack []iterFrame[V]
+	hi    uint64
+	all   bool
+	done  bool
+}
+
+type iterFrame[V any] struct {
+	n   *node[V]
+	idx int
+	ks  []uint8
+}
+
+// Iter returns a cursor over all items.
+func (t *Trie[K, V]) Iter() *Iterator[K, V] {
+	return &Iterator[K, V]{t: t, all: true,
+		stack: []iterFrame[V]{{n: t.root, idx: -1, ks: t.root.kt.Keys()}}}
+}
+
+// IterRange returns a cursor over items with lo ≤ key ≤ hi.
+func (t *Trie[K, V]) IterRange(lo, hi K) *Iterator[K, V] {
+	if lo > hi {
+		return &Iterator[K, V]{t: t, done: true}
+	}
+	it := &Iterator[K, V]{t: t, hi: keys.OrderedBits(hi),
+		stack: []iterFrame[V]{{n: t.root, idx: -1, ks: t.root.kt.Keys()}}}
+	it.seek(keys.OrderedBits(lo))
+	return it
+}
+
+// seek positions the stack just before the first key ≥ lo.
+func (it *Iterator[K, V]) seek(lo uint64) {
+	for {
+		f := &it.stack[len(it.stack)-1]
+		level := len(it.stack) - 1
+		pk := uint8(lo >> (8 * uint(it.t.levels-1-level)))
+		// First position with partial key ≥ pk.
+		i := 0
+		for i < len(f.ks) && f.ks[i] < pk {
+			i++
+		}
+		if i >= len(f.ks) || f.ks[i] > pk || level == it.t.levels-1 {
+			// Everything from position i on is ≥ lo (or the node is
+			// exhausted and the parent resumes at the next sibling).
+			f.idx = i - 1
+			return
+		}
+		// Exact partial-key match above the last level: descend into
+		// child i; when its subtree is exhausted the pop resumes at
+		// sibling i+1.
+		f.idx = i
+		child := f.n.children[i]
+		it.stack = append(it.stack, iterFrame[V]{n: child, idx: -1, ks: child.kt.Keys()})
+	}
+}
+
+// Next advances the cursor. It returns false when the iteration is
+// exhausted.
+func (it *Iterator[K, V]) Next() bool {
+	if it.done {
+		return false
+	}
+	for len(it.stack) > 0 {
+		f := &it.stack[len(it.stack)-1]
+		f.idx++
+		if f.idx >= len(f.ks) {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		if len(it.stack) == it.t.levels {
+			if !it.all && it.currentBits() > it.hi {
+				it.done = true
+				return false
+			}
+			return true
+		}
+		child := f.n.children[f.idx]
+		it.stack = append(it.stack, iterFrame[V]{n: child, idx: -1, ks: child.kt.Keys()})
+	}
+	it.done = true
+	return false
+}
+
+// currentBits reassembles the ordered bit pattern of the cursor key.
+func (it *Iterator[K, V]) currentBits() uint64 {
+	var u uint64
+	for i := range it.stack {
+		u = u<<8 | uint64(it.stack[i].ks[it.stack[i].idx])
+	}
+	return u
+}
+
+// Key returns the key at the cursor; valid only after Next returned true.
+func (it *Iterator[K, V]) Key() K {
+	return keys.FromOrderedBits[K](it.currentBits())
+}
+
+// Value returns the value at the cursor; valid only after Next returned
+// true.
+func (it *Iterator[K, V]) Value() V {
+	f := it.stack[len(it.stack)-1]
+	return f.n.vals[f.idx]
+}

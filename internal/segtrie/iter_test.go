@@ -1,0 +1,149 @@
+package segtrie
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectScan gathers Scan output as the reference for cursor tests.
+func collectScan[K interface{ ~uint64 | ~int32 | ~uint16 }](scan func(K, K, func(K, int) bool), lo, hi K) ([]K, []int) {
+	var ks []K
+	var vs []int
+	scan(lo, hi, func(k K, v int) bool {
+		ks = append(ks, k)
+		vs = append(vs, v)
+		return true
+	})
+	return ks, vs
+}
+
+func TestTrieIteratorMatchesAscend(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tr := NewDefault[uint64, int]()
+	opt := NewOptimizedDefault[uint64, int]()
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64() >> uint(rng.Intn(40)) // mixed dense/sparse prefixes
+		tr.Put(k, i)
+		opt.Put(k, i)
+	}
+	var want []uint64
+	tr.Ascend(func(k uint64, _ int) bool { want = append(want, k); return true })
+
+	it := tr.Iter()
+	var got []uint64
+	for it.Next() {
+		got = append(got, it.Key())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trie cursor emitted %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trie cursor diverges at %d", i)
+		}
+	}
+
+	oit := opt.Iter()
+	got = got[:0]
+	for oit.Next() {
+		got = append(got, oit.Key())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("optimized cursor emitted %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("optimized cursor diverges at %d", i)
+		}
+	}
+}
+
+func TestTrieIterRangeMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	tr := NewDefault[uint64, int]()
+	opt := NewOptimizedDefault[uint64, int]()
+	for i := 0; i < 3000; i++ {
+		k := rng.Uint64() % 100000
+		tr.Put(k, i)
+		opt.Put(k, i)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Uint64() % 100000
+		hi := lo + rng.Uint64()%5000
+		wantK, wantV := collectScan[uint64](tr.Scan, lo, hi)
+
+		check := func(name string, next func() bool, key func() uint64, val func() int) {
+			i := 0
+			for next() {
+				if i >= len(wantK) || key() != wantK[i] || val() != wantV[i] {
+					t.Fatalf("%s [%d,%d] diverges at %d (key %d)", name, lo, hi, i, key())
+				}
+				i++
+			}
+			if i != len(wantK) {
+				t.Fatalf("%s [%d,%d] emitted %d of %d", name, lo, hi, i, len(wantK))
+			}
+		}
+		it := tr.IterRange(lo, hi)
+		check("trie", it.Next, it.Key, it.Value)
+		oit := opt.IterRange(lo, hi)
+		check("optimized", oit.Next, oit.Key, oit.Value)
+	}
+}
+
+func TestTrieIterRangeEdgeCases(t *testing.T) {
+	tr := NewDefault[uint16, int]()
+	opt := NewOptimizedDefault[uint16, int]()
+	for _, k := range []uint16{10, 20, 30, 1000, 65535} {
+		tr.Put(k, int(k))
+		opt.Put(k, int(k))
+	}
+	// Inverted range.
+	if tr.IterRange(5, 3).Next() || opt.IterRange(5, 3).Next() {
+		t.Fatal("inverted range emitted")
+	}
+	// Range below all keys.
+	if tr.IterRange(0, 5).Next() || opt.IterRange(0, 5).Next() {
+		t.Fatal("below-range emitted")
+	}
+	// Range above all keys... 65535 is a key, so [65535,65535] hits it.
+	it := tr.IterRange(65535, 65535)
+	if !it.Next() || it.Key() != 65535 {
+		t.Fatal("max-key range")
+	}
+	oit := opt.IterRange(65535, 65535)
+	if !oit.Next() || oit.Key() != 65535 {
+		t.Fatal("optimized max-key range")
+	}
+	// Empty tries.
+	empty := NewDefault[uint16, int]()
+	if empty.Iter().Next() {
+		t.Fatal("empty trie cursor emitted")
+	}
+	oempty := NewOptimizedDefault[uint16, int]()
+	if oempty.Iter().Next() || oempty.IterRange(1, 2).Next() {
+		t.Fatal("empty optimized cursor emitted")
+	}
+}
+
+func TestOptimizedIterSeekIntoCompressedPrefix(t *testing.T) {
+	opt := NewOptimizedDefault[uint64, int]()
+	// Two compressed subtrees with long prefixes.
+	ks := []uint64{0x0101010101010101, 0x0101010101010102, 0x0202020202020201}
+	for i, k := range ks {
+		opt.Put(k, i)
+	}
+	// lo inside the first prefix, below its keys.
+	it := opt.IterRange(0x0101000000000000, 0x0101010101010101)
+	if !it.Next() || it.Key() != ks[0] {
+		t.Fatal("seek into prefix")
+	}
+	if it.Next() {
+		t.Fatal("hi bound ignored")
+	}
+	// lo between the two subtrees.
+	it = opt.IterRange(0x0101010101010103, ^uint64(0))
+	if !it.Next() || it.Key() != ks[2] {
+		t.Fatalf("seek between subtrees")
+	}
+}

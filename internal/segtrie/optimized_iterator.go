@@ -1,0 +1,142 @@
+package segtrie
+
+import "repro/internal/keys"
+
+// OptimizedIterator is a stateful cursor over an Optimized trie in
+// ascending key order. Frames carry the ordered-bit prefix accumulated
+// down the compressed paths. Mutating the trie invalidates open
+// iterators.
+type OptimizedIterator[K keys.Key, V any] struct {
+	t     *Optimized[K, V]
+	stack []oiterFrame[V]
+	hi    uint64
+	all   bool
+	done  bool
+}
+
+type oiterFrame[V any] struct {
+	n      *onode[V]
+	idx    int
+	ks     []uint8
+	prefix uint64 // ordered bits of all segments above this node's level
+}
+
+// Iter returns a cursor over all items.
+func (t *Optimized[K, V]) Iter() *OptimizedIterator[K, V] {
+	it := &OptimizedIterator[K, V]{t: t, all: true}
+	if t.root == nil {
+		it.done = true
+		return it
+	}
+	it.push(t.root, 0)
+	return it
+}
+
+// IterRange returns a cursor over items with lo ≤ key ≤ hi.
+func (t *Optimized[K, V]) IterRange(lo, hi K) *OptimizedIterator[K, V] {
+	it := &OptimizedIterator[K, V]{t: t, hi: keys.OrderedBits(hi)}
+	if lo > hi || t.root == nil {
+		it.done = true
+		return it
+	}
+	it.push(t.root, 0)
+	it.seek(keys.OrderedBits(lo))
+	return it
+}
+
+// push appends a frame for n, folding n's compressed prefix into the
+// accumulated ordered bits.
+func (it *OptimizedIterator[K, V]) push(n *onode[V], prefix uint64) {
+	for _, p := range n.prefix {
+		prefix = prefix<<8 | uint64(p)
+	}
+	it.stack = append(it.stack, oiterFrame[V]{n: n, idx: -1, ks: n.kt.Keys(), prefix: prefix})
+}
+
+// seek positions the stack just before the first key ≥ lo.
+func (it *OptimizedIterator[K, V]) seek(lo uint64) {
+	consumed := 0 // segments of lo matched so far
+	for {
+		f := &it.stack[len(it.stack)-1]
+		// Compare the node's compressed prefix against lo's segments.
+		diverged := 0 // -1: subtree < lo, +1: subtree > lo
+		for _, p := range f.n.prefix {
+			seg := uint8(lo >> (8 * uint(it.t.levels-1-consumed)))
+			if p != seg {
+				if p > seg {
+					diverged = 1
+				} else {
+					diverged = -1
+				}
+				break
+			}
+			consumed++
+		}
+		if diverged == 1 {
+			// Whole subtree > lo: iterate it from the start.
+			return
+		}
+		if diverged == -1 {
+			// Whole subtree < lo: exhaust this frame so the next advance
+			// pops it and the parent resumes at the next sibling.
+			f.idx = len(f.ks) - 1
+			return
+		}
+		pk := uint8(lo >> (8 * uint(it.t.levels-1-consumed)))
+		i := 0
+		for i < len(f.ks) && f.ks[i] < pk {
+			i++
+		}
+		if i >= len(f.ks) || f.ks[i] > pk || f.n.last() {
+			f.idx = i - 1
+			return
+		}
+		f.idx = i
+		consumed++
+		it.push(f.n.children[i], f.prefix<<8|uint64(pk))
+	}
+}
+
+// Next advances the cursor. It returns false when the iteration is
+// exhausted.
+func (it *OptimizedIterator[K, V]) Next() bool {
+	if it.done {
+		return false
+	}
+	for len(it.stack) > 0 {
+		f := &it.stack[len(it.stack)-1]
+		f.idx++
+		if f.idx >= len(f.ks) {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		if f.n.last() {
+			if !it.all && it.currentBits() > it.hi {
+				it.done = true
+				return false
+			}
+			return true
+		}
+		it.push(f.n.children[f.idx], f.prefix<<8|uint64(f.ks[f.idx]))
+	}
+	it.done = true
+	return false
+}
+
+// currentBits reassembles the ordered bit pattern of the cursor key.
+func (it *OptimizedIterator[K, V]) currentBits() uint64 {
+	f := &it.stack[len(it.stack)-1]
+	return f.prefix<<8 | uint64(f.ks[f.idx])
+}
+
+// Key returns the key at the cursor; valid only after Next returned true.
+func (it *OptimizedIterator[K, V]) Key() K {
+	return keys.FromOrderedBits[K](it.currentBits())
+}
+
+// Value returns the value at the cursor; valid only after Next returned
+// true.
+func (it *OptimizedIterator[K, V]) Value() V {
+	f := it.stack[len(it.stack)-1]
+	return f.n.vals[f.idx]
+}

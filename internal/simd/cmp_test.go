@@ -1,0 +1,172 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var widths = []int{1, 2, 4, 8}
+
+func randomVec(rng *rand.Rand) Vec { return Vec{rng.Uint64(), rng.Uint64()} }
+
+// clusteredVec produces vectors whose lanes are near each other, so that
+// equality and off-by-one cases are actually exercised.
+func clusteredVec(rng *rand.Rand, base Vec, width int) Vec {
+	var b [16]byte
+	base.Store(b[:])
+	for lane := 0; lane < 16/width; lane++ {
+		// Perturb the low byte of the lane by -1, 0 or +1.
+		b[lane*width] += byte(rng.Intn(3) - 1)
+	}
+	return Load(b[:])
+}
+
+func TestCmpGtExhaustive8BitLane(t *testing.T) {
+	// Exhaustive signed 8-bit compare over lane 0 and lane 15, all 256×256
+	// value pairs.
+	for _, lane := range []int{0, 7, 8, 15} {
+		for x := 0; x < 256; x++ {
+			for y := 0; y < 256; y++ {
+				var ab, bb [16]byte
+				ab[lane] = byte(x)
+				bb[lane] = byte(y)
+				got := CmpGtEpi8(Load(ab[:]), Load(bb[:]))
+				want := RefCmpGt(1, Load(ab[:]), Load(bb[:]))
+				if got != want {
+					t.Fatalf("lane %d x=%d y=%d: got %#v want %#v", lane, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCmpGtAgainstReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, w := range widths {
+		for i := 0; i < 50000; i++ {
+			a := randomVec(rng)
+			var b Vec
+			if i%2 == 0 {
+				b = randomVec(rng)
+			} else {
+				b = clusteredVec(rng, a, w)
+			}
+			got := CmpGt(w, a, b)
+			want := RefCmpGt(w, a, b)
+			if got != want {
+				t.Fatalf("width %d a=%#v b=%#v: got %#v want %#v", w, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCmpEqAgainstReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, w := range widths {
+		for i := 0; i < 50000; i++ {
+			a := randomVec(rng)
+			var b Vec
+			switch i % 3 {
+			case 0:
+				b = randomVec(rng)
+			case 1:
+				b = a
+			default:
+				b = clusteredVec(rng, a, w)
+			}
+			got := CmpEq(w, a, b)
+			want := RefCmpEq(w, a, b)
+			if got != want {
+				t.Fatalf("width %d a=%#v b=%#v: got %#v want %#v", w, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCmpGtSignedSemantics(t *testing.T) {
+	// -1 > 0 must be false, 0 > -1 must be true for every width.
+	for _, w := range widths {
+		minusOne := Vec{^uint64(0), ^uint64(0)}
+		zero := Vec{}
+		if got := CmpGt(w, minusOne, zero); !got.Zero() {
+			t.Fatalf("width %d: -1 > 0 reported true: %#v", w, got)
+		}
+		if got := CmpGt(w, zero, minusOne); got != (Vec{^uint64(0), ^uint64(0)}) {
+			t.Fatalf("width %d: 0 > -1 reported false: %#v", w, got)
+		}
+	}
+}
+
+func TestCmpGtIrreflexive(t *testing.T) {
+	f := func(lo, hi uint64) bool {
+		v := Vec{lo, hi}
+		for _, w := range widths {
+			if !CmpGt(w, v, v).Zero() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpEqReflexiveAndSymmetric(t *testing.T) {
+	full := Vec{^uint64(0), ^uint64(0)}
+	f := func(alo, ahi, blo, bhi uint64) bool {
+		a, b := Vec{alo, ahi}, Vec{blo, bhi}
+		for _, w := range widths {
+			if CmpEq(w, a, a) != full {
+				return false
+			}
+			if CmpEq(w, a, b) != CmpEq(w, b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpGtTrichotomyWithEq(t *testing.T) {
+	// For every lane exactly one of a>b, b>a, a==b holds.
+	rng := rand.New(rand.NewSource(4))
+	full := Vec{^uint64(0), ^uint64(0)}
+	for _, w := range widths {
+		for i := 0; i < 20000; i++ {
+			a := randomVec(rng)
+			b := clusteredVec(rng, a, w)
+			gt := CmpGt(w, a, b)
+			lt := CmpGt(w, b, a)
+			eq := CmpEq(w, a, b)
+			union := gt.Or(lt).Or(eq)
+			if union != full {
+				t.Fatalf("width %d: lanes unaccounted for: a=%#v b=%#v", w, a, b)
+			}
+			if !gt.And(lt).Zero() || !gt.And(eq).Zero() || !lt.And(eq).Zero() {
+				t.Fatalf("width %d: overlapping relations: a=%#v b=%#v", w, a, b)
+			}
+		}
+	}
+}
+
+func TestPaperFigure1Sequence(t *testing.T) {
+	// The walk-through of the paper's Figure 1: keys (3,5,8,12) as 32-bit
+	// lanes, search key 9, greater-than compare, movemask = 0xF000,
+	// meaning the first greater key sits at position 3.
+	keyBytes := make([]byte, 16)
+	for i, k := range []uint32{3, 5, 8, 12} {
+		keyBytes[4*i] = byte(k)
+	}
+	keysVec := Load(keyBytes)
+	searchVec := Set1Epi32(9)
+	cmp := CmpGtEpi32(keysVec, searchVec)
+	mask := MoveMaskEpi8(cmp)
+	if mask != 0xF000 {
+		t.Fatalf("Figure 1 bitmask: got %#x want 0xF000", mask)
+	}
+}

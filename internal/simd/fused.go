@@ -1,0 +1,203 @@
+package simd
+
+import "encoding/binary"
+
+// Fused forms of the paper's per-node instruction sequence (load → compare
+// → movemask), used by the search hot paths. They are semantically
+// identical to composing Load, CmpGt* and MoveMaskEpi8 — the test suite
+// cross-checks them bit for bit — but exploit two things real SSE code
+// also exploits: the search register is loop-invariant (its biased
+// complement terms are precomputed once per search, like hoisting the
+// unsigned-realignment XOR of §2.1), and the only consumer of the compare
+// result is the movemask, so the per-lane carry bits are gathered directly
+// into mask position instead of being spread to 0xFF lanes first.
+//
+// The produced mask is exactly the _mm_movemask_epi8 result: one bit per
+// byte, i.e. width bits per true lane.
+
+// Search is a prepared search register for repeated greater-than compares
+// of one search key against packed nodes.
+type Search struct {
+	width int
+	// lo is the biased (unsigned-order) broadcast value, used by the
+	// 64-bit kernel and the equality kernel.
+	lo, hi uint64
+	// sc is the precomputed per-container complement of the search lanes:
+	// adding it to a biased key lane produces a carry exactly when the
+	// key is greater.
+	sc uint64
+}
+
+// NewSearch broadcasts the order-preserving (unsigned-order) bit pattern
+// of the search key and precomputes the compare terms.
+func NewSearch(width int, orderedBits uint64) Search {
+	s := Search{width: width}
+	switch width {
+	case 1:
+		v := orderedBits & 0xFF * rep8
+		s.lo, s.hi = v, v
+		s.sc = evenBytes - (v & evenBytes)
+	case 2:
+		v := orderedBits & 0xFFFF * rep16
+		s.lo, s.hi = v, v
+		s.sc = evenWords - (v & evenWords)
+	case 4:
+		v := orderedBits & 0xFFFFFFFF * rep32
+		s.lo, s.hi = v, v
+		s.sc = lowDword - (v & lowDword)
+	default:
+		s.lo, s.hi = orderedBits, orderedBits
+	}
+	return s
+}
+
+// Width reports the lane width the search was prepared for.
+func (s Search) Width() int { return s.width }
+
+// Multiply-gather constants: they move the per-container carry bits of one
+// register half into the top byte, yielding the byte-granularity movemask
+// bits for the even (or odd) lanes. The partial products never collide, so
+// no carries corrupt the result.
+const (
+	gather8  = 1<<48 | 1<<34 | 1<<20 | 1<<6 // carries at bits 8,24,40,56 → mask bits 0,2,4,6
+	gather16 = 1<<40 | 1<<12                // carries at bits 16,48 → mask bits 0,4
+)
+
+// gtMask8 compares eight biased byte lanes of one half against the
+// prepared search and returns their byte mask bits.
+func gtMask8(a uint64, sc uint64) uint32 {
+	te := (a & evenBytes) + sc
+	to := ((a >> 8) & evenBytes) + sc
+	ge := uint32((te&carry8)*gather8>>56) & 0x55
+	godd := uint32((to&carry8)*gather8>>56) & 0x55
+	return ge | godd<<1
+}
+
+// gtMask16 is gtMask8 for four 16-bit lanes (two mask bits per lane).
+func gtMask16(a uint64, sc uint64) uint32 {
+	te := (a & evenWords) + sc
+	to := ((a >> 16) & evenWords) + sc
+	ge := uint32((te&carry16)*gather16>>56) & 0x11
+	godd := uint32((to&carry16)*gather16>>56) & 0x11
+	return (ge | godd<<2) * 0x3
+}
+
+// gtMask32 is gtMask8 for two 32-bit lanes (four mask bits per lane).
+func gtMask32(a uint64, sc uint64) uint32 {
+	tl := (a & lowDword) + sc
+	th := (a >> 32) + sc
+	return uint32(tl>>32&1)*0x0F | uint32(th>>32&1)*0xF0
+}
+
+// GtMask loads one 16-byte node from b, compares every lane against the
+// prepared search key for greater-than, and returns the movemask — steps
+// 1, 3 and 4 of the paper's §2.1 sequence in one kernel.
+func (s Search) GtMask(b []byte) uint16 {
+	lo := binary.LittleEndian.Uint64(b)
+	hi := binary.LittleEndian.Uint64(b[8:])
+	switch s.width {
+	case 1:
+		return uint16(gtMask8(lo^sign8, s.sc) | gtMask8(hi^sign8, s.sc)<<8)
+	case 2:
+		return uint16(gtMask16(lo^sign16, s.sc) | gtMask16(hi^sign16, s.sc)<<8)
+	case 4:
+		return uint16(gtMask32(lo^sign32, s.sc) | gtMask32(hi^sign32, s.sc)<<8)
+	default:
+		var m uint16
+		if lo^sign64 > s.lo {
+			m = 0x00FF
+		}
+		if hi^sign64 > s.hi {
+			m |= 0xFF00
+		}
+		return m
+	}
+}
+
+// EqAny reports whether any lane of the 16-byte node at b equals the
+// prepared search key. It uses the classic has-zero-lane test on the XOR
+// of the operands — exact for existence — and costs three ALU operations
+// per register half.
+func (s Search) EqAny(b []byte) bool {
+	lo := binary.LittleEndian.Uint64(b)
+	hi := binary.LittleEndian.Uint64(b[8:])
+	switch s.width {
+	case 1:
+		x, y := lo^sign8^s.lo, hi^sign8^s.hi
+		return (x-rep8)&^x&sign8 != 0 || (y-rep8)&^y&sign8 != 0
+	case 2:
+		x, y := lo^sign16^s.lo, hi^sign16^s.hi
+		return (x-rep16)&^x&sign16 != 0 || (y-rep16)&^y&sign16 != 0
+	case 4:
+		x, y := lo^sign32^s.lo, hi^sign32^s.hi
+		return (x-rep32)&^x&sign32 != 0 || (y-rep32)&^y&sign32 != 0
+	default:
+		return lo^sign64 == s.lo || hi^sign64 == s.hi
+	}
+}
+
+// GtMaskEq combines GtMask and EqAny over a single pair of 64-bit loads,
+// for lookups that need both the rank digit and the membership bit of a
+// node visit.
+func (s Search) GtMaskEq(b []byte) (mask uint16, eq bool) {
+	lo := binary.LittleEndian.Uint64(b)
+	hi := binary.LittleEndian.Uint64(b[8:])
+	switch s.width {
+	case 1:
+		lo ^= sign8
+		hi ^= sign8
+		x, y := lo^s.lo, hi^s.hi
+		eq = (x-rep8)&^x&sign8 != 0 || (y-rep8)&^y&sign8 != 0
+		mask = uint16(gtMask8(lo, s.sc) | gtMask8(hi, s.sc)<<8)
+	case 2:
+		lo ^= sign16
+		hi ^= sign16
+		x, y := lo^s.lo, hi^s.hi
+		eq = (x-rep16)&^x&sign16 != 0 || (y-rep16)&^y&sign16 != 0
+		mask = uint16(gtMask16(lo, s.sc) | gtMask16(hi, s.sc)<<8)
+	case 4:
+		lo ^= sign32
+		hi ^= sign32
+		x, y := lo^s.lo, hi^s.hi
+		eq = (x-rep32)&^x&sign32 != 0 || (y-rep32)&^y&sign32 != 0
+		mask = uint16(gtMask32(lo, s.sc) | gtMask32(hi, s.sc)<<8)
+	default:
+		lo ^= sign64
+		hi ^= sign64
+		eq = lo == s.lo || hi == s.hi
+		if lo > s.lo {
+			mask = 0x00FF
+		}
+		if hi > s.hi {
+			mask |= 0xFF00
+		}
+	}
+	return mask, eq
+}
+
+// EqMask is GtMask for lane equality, used by the §3.1 equality-check
+// extension.
+func (s Search) EqMask(b []byte) uint16 {
+	lo := binary.LittleEndian.Uint64(b)
+	hi := binary.LittleEndian.Uint64(b[8:])
+	switch s.width {
+	case 1:
+		return uint16(moveMask64(eqLanes(lo^sign8, s.lo, 1)) |
+			moveMask64(eqLanes(hi^sign8, s.hi, 1))<<8)
+	case 2:
+		return uint16(moveMask64(eqLanes(lo^sign16, s.lo, 2)) |
+			moveMask64(eqLanes(hi^sign16, s.hi, 2))<<8)
+	case 4:
+		return uint16(moveMask64(eqLanes(lo^sign32, s.lo, 4)) |
+			moveMask64(eqLanes(hi^sign32, s.hi, 4))<<8)
+	default:
+		var m uint16
+		if lo^sign64 == s.lo {
+			m = 0x00FF
+		}
+		if hi^sign64 == s.hi {
+			m |= 0xFF00
+		}
+		return m
+	}
+}

@@ -1,0 +1,56 @@
+package simd
+
+// Scalar reference implementations of every vector instruction, used by the
+// test suite to cross-check the SWAR kernels and by ablation benchmarks to
+// quantify what the SWAR substrate buys over a plain per-lane loop.
+
+// RefCmpGt computes the signed per-lane greater-than mask with a scalar
+// loop over the lanes. width is the lane width in bytes.
+func RefCmpGt(width int, a, b Vec) Vec {
+	return refCmp(width, a, b, func(x, y int64) bool { return x > y })
+}
+
+// RefCmpEq computes the per-lane equality mask with a scalar loop.
+func RefCmpEq(width int, a, b Vec) Vec {
+	return refCmp(width, a, b, func(x, y int64) bool { return x == y })
+}
+
+func refCmp(width int, a, b Vec, pred func(x, y int64) bool) Vec {
+	var ab, bb, rb [16]byte
+	a.Store(ab[:])
+	b.Store(bb[:])
+	for lane := 0; lane < 16/width; lane++ {
+		x := signedLane(ab[:], lane, width)
+		y := signedLane(bb[:], lane, width)
+		if pred(x, y) {
+			for i := 0; i < width; i++ {
+				rb[lane*width+i] = 0xFF
+			}
+		}
+	}
+	return Load(rb[:])
+}
+
+// signedLane extracts lane i of the given byte width as a sign-extended
+// little-endian integer.
+func signedLane(b []byte, lane, width int) int64 {
+	var u uint64
+	for i := 0; i < width; i++ {
+		u |= uint64(b[lane*width+i]) << (8 * uint(i))
+	}
+	shift := uint(64 - 8*width)
+	return int64(u<<shift) >> shift
+}
+
+// RefMoveMaskEpi8 computes the byte-MSB mask with a scalar loop.
+func RefMoveMaskEpi8(v Vec) uint16 {
+	var b [16]byte
+	v.Store(b[:])
+	var m uint16
+	for i, x := range b {
+		if x&0x80 != 0 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}

@@ -1,0 +1,112 @@
+// Package simd is the software substitute for the 128-bit SSE2/SSE4
+// instructions the paper uses (its Table 1). Go has no SIMD intrinsics, so
+// this package models one 128-bit register as two uint64 halves and
+// implements the paper's instruction set — load, set1 (broadcast),
+// lane-parallel signed greater-than compare, movemask, popcount-based mask
+// evaluation — with SWAR (SIMD-within-a-register) bit arithmetic. Each
+// lane-parallel compare costs a handful of 64-bit ALU operations rather
+// than one scalar compare-and-branch per lane, which preserves the paper's
+// central performance property: throughput grows as the lane width shrinks
+// (16 parallel 8-bit compares, 8×16-bit, 4×32-bit, 2×64-bit).
+//
+// Lane values are signed, as in SSE2. Unsigned key types are realigned by
+// package keys before they reach a register (the paper's §2.1 "preceding
+// subtraction").
+package simd
+
+import "encoding/binary"
+
+// Vec is a 128-bit SIMD register: sixteen bytes in two little-endian
+// uint64 halves. Lane 0 occupies the lowest-addressed bytes, matching
+// _mm_load_si128 of a little-endian key array.
+type Vec struct {
+	Lo, Hi uint64
+}
+
+// Load emulates _mm_load_si128: it loads 16 consecutive bytes. The
+// consecutive-memory requirement that drives the paper's linearized layouts
+// is exactly this call: b must be one contiguous slice.
+func Load(b []byte) Vec {
+	return Vec{
+		Lo: binary.LittleEndian.Uint64(b),
+		Hi: binary.LittleEndian.Uint64(b[8:]),
+	}
+}
+
+// Store writes the register to 16 consecutive bytes.
+func (v Vec) Store(b []byte) {
+	binary.LittleEndian.PutUint64(b, v.Lo)
+	binary.LittleEndian.PutUint64(b[8:], v.Hi)
+}
+
+// Xor returns the bitwise XOR of two registers (PXOR).
+func (v Vec) Xor(o Vec) Vec { return Vec{v.Lo ^ o.Lo, v.Hi ^ o.Hi} }
+
+// And returns the bitwise AND of two registers (PAND).
+func (v Vec) And(o Vec) Vec { return Vec{v.Lo & o.Lo, v.Hi & o.Hi} }
+
+// Or returns the bitwise OR of two registers (POR).
+func (v Vec) Or(o Vec) Vec { return Vec{v.Lo | o.Lo, v.Hi | o.Hi} }
+
+// Zero reports whether every bit of the register is clear (PTEST-style).
+func (v Vec) Zero() bool { return v.Lo|v.Hi == 0 }
+
+// Broadcast multipliers: multiplying a w-byte lane pattern by rep[w]
+// replicates it across a uint64.
+const (
+	rep8  = 0x0101010101010101
+	rep16 = 0x0001000100010001
+	rep32 = 0x0000000100000001
+)
+
+// Set1Epi8 emulates _mm_set1_epi8: broadcast one 8-bit lane.
+func Set1Epi8(x uint8) Vec {
+	u := uint64(x) * rep8
+	return Vec{u, u}
+}
+
+// Set1Epi16 emulates _mm_set1_epi16: broadcast one 16-bit lane.
+func Set1Epi16(x uint16) Vec {
+	u := uint64(x) * rep16
+	return Vec{u, u}
+}
+
+// Set1Epi32 emulates _mm_set1_epi32: broadcast one 32-bit lane.
+func Set1Epi32(x uint32) Vec {
+	u := uint64(x) * rep32
+	return Vec{u, u}
+}
+
+// Set1Epi64 emulates _mm_set1_epi64x: broadcast one 64-bit lane.
+func Set1Epi64(x uint64) Vec { return Vec{x, x} }
+
+// Set1Lane broadcasts a lane bit pattern (as produced by keys.Lane) of the
+// given byte width.
+func Set1Lane(width int, lane uint64) Vec {
+	switch width {
+	case 1:
+		return Set1Epi8(uint8(lane))
+	case 2:
+		return Set1Epi16(uint16(lane))
+	case 4:
+		return Set1Epi32(uint32(lane))
+	default:
+		return Set1Epi64(lane)
+	}
+}
+
+// moveMask64 gathers the most significant bit of each byte of u into the
+// low eight bits of the result. The magic multiplier places byte-MSB bit
+// 7+8i at result bit 56+i; carries of the partial products never reach bit
+// 56, so the top byte of the product is exactly the mask.
+func moveMask64(u uint64) uint32 {
+	return uint32((u & 0x8080808080808080) * 0x0002040810204081 >> 56)
+}
+
+// MoveMaskEpi8 emulates _mm_movemask_epi8: it extracts the most significant
+// bit of each of the sixteen byte lanes into a 16-bit mask (bit i set ⇔ MSB
+// of byte lane i set). This is the bitmask that Algorithms 1–3 of the paper
+// evaluate.
+func MoveMaskEpi8(v Vec) uint16 {
+	return uint16(moveMask64(v.Lo) | moveMask64(v.Hi)<<8)
+}

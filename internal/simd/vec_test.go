@@ -1,0 +1,142 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = byte(i*17 + 3)
+	}
+	v := Load(b)
+	out := make([]byte, 16)
+	v.Store(out)
+	for i := range b {
+		if b[i] != out[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, out[i], b[i])
+		}
+	}
+}
+
+func TestLoadIsLittleEndianLane0First(t *testing.T) {
+	b := make([]byte, 16)
+	b[0] = 0xAB
+	v := Load(b)
+	if v.Lo&0xFF != 0xAB {
+		t.Fatalf("lane 0 must be the lowest byte of Lo, got Lo=%#x", v.Lo)
+	}
+}
+
+func TestSet1Epi8(t *testing.T) {
+	v := Set1Epi8(0x5A)
+	var b [16]byte
+	v.Store(b[:])
+	for i, x := range b {
+		if x != 0x5A {
+			t.Fatalf("byte %d: got %#x", i, x)
+		}
+	}
+}
+
+func TestSet1Epi16(t *testing.T) {
+	v := Set1Epi16(0xBEEF)
+	var b [16]byte
+	v.Store(b[:])
+	for i := 0; i < 8; i++ {
+		if b[2*i] != 0xEF || b[2*i+1] != 0xBE {
+			t.Fatalf("lane %d: got %#x %#x", i, b[2*i], b[2*i+1])
+		}
+	}
+}
+
+func TestSet1Epi32(t *testing.T) {
+	v := Set1Epi32(0xDEADBEEF)
+	if v.Lo != 0xDEADBEEFDEADBEEF || v.Hi != v.Lo {
+		t.Fatalf("got %#x %#x", v.Lo, v.Hi)
+	}
+}
+
+func TestSet1Epi64(t *testing.T) {
+	v := Set1Epi64(0x0123456789ABCDEF)
+	if v.Lo != 0x0123456789ABCDEF || v.Hi != v.Lo {
+		t.Fatalf("got %#x %#x", v.Lo, v.Hi)
+	}
+}
+
+func TestSet1LaneDispatch(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		v := Set1Lane(w, 0x7F)
+		var b [16]byte
+		v.Store(b[:])
+		for lane := 0; lane < 16/w; lane++ {
+			if b[lane*w] != 0x7F {
+				t.Fatalf("width %d lane %d low byte: got %#x", w, lane, b[lane*w])
+			}
+			for i := 1; i < w; i++ {
+				if b[lane*w+i] != 0 {
+					t.Fatalf("width %d lane %d byte %d: got %#x", w, lane, i, b[lane*w+i])
+				}
+			}
+		}
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	a := Vec{0xF0F0F0F0F0F0F0F0, 0x00FF00FF00FF00FF}
+	b := Vec{0x0FF00FF00FF00FF0, 0xFFFFFFFF00000000}
+	if got := a.Xor(b); got != (Vec{0xFF00FF00FF00FF00, 0xFF00FF0000FF00FF}) {
+		t.Fatalf("xor: %#v", got)
+	}
+	if got := a.And(b); got != (Vec{0x00F000F000F000F0, 0x00FF00FF00000000}) {
+		t.Fatalf("and: %#v", got)
+	}
+	if got := a.Or(b); got != (Vec{0xFFF0FFF0FFF0FFF0, 0xFFFFFFFF00FF00FF}) {
+		t.Fatalf("or: %#v", got)
+	}
+	if !(Vec{}).Zero() || a.Zero() {
+		t.Fatal("Zero() misbehaves")
+	}
+}
+
+func TestMoveMaskEpi8AgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := Vec{rng.Uint64(), rng.Uint64()}
+		if got, want := MoveMaskEpi8(v), RefMoveMaskEpi8(v); got != want {
+			t.Fatalf("movemask(%#v): got %#x want %#x", v, got, want)
+		}
+	}
+}
+
+func TestMoveMaskEpi8KnownValues(t *testing.T) {
+	cases := []struct {
+		v    Vec
+		want uint16
+	}{
+		{Vec{0, 0}, 0x0000},
+		{Vec{^uint64(0), ^uint64(0)}, 0xFFFF},
+		{Vec{0x80, 0}, 0x0001},
+		{Vec{0, 0x8000000000000000}, 0x8000},
+		// The paper's Figure 1 result: top lane (32-bit) true only, i.e.
+		// bytes 12..15 set → mask 0xF000.
+		{Vec{0, 0xFFFFFFFF00000000}, 0xF000},
+	}
+	for _, c := range cases {
+		if got := MoveMaskEpi8(c.v); got != c.want {
+			t.Fatalf("movemask(%#v): got %#x want %#x", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMoveMaskQuick(t *testing.T) {
+	f := func(lo, hi uint64) bool {
+		v := Vec{lo, hi}
+		return MoveMaskEpi8(v) == RefMoveMaskEpi8(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

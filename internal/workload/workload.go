@@ -1,0 +1,271 @@
+// Package workload generates the synthetic data sets and probe sequences
+// of the paper's evaluation (§5.1): full-domain key sequences for 8- and
+// 16-bit types, ascending sequences starting at zero for 32- and 64-bit
+// types, the Single / 5 MB / 100 MB data-set size classes, skewed key sets
+// that fill a prescribed number of trie levels (Figure 11), and uniformly
+// random probe sequences of 10,000 search keys.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"repro/internal/keys"
+)
+
+// DefaultProbeCount is the x = 10,000 random searches of §5.1.
+const DefaultProbeCount = 10000
+
+// Class is a data-set size class of the evaluation.
+type Class int
+
+const (
+	// Single holds the keys of exactly one completely filled node.
+	Single Class = iota
+	// FiveMB holds nodes totalling about 5 MB — larger than L2, within
+	// the paper's 8 MB L3.
+	FiveMB
+	// HundredMB holds nodes totalling about 100 MB — beyond every cache
+	// level.
+	HundredMB
+)
+
+// String returns the paper's label for the class.
+func (c Class) String() string {
+	switch c {
+	case Single:
+		return "Single"
+	case FiveMB:
+		return "5 MB"
+	case HundredMB:
+		return "100 MB"
+	default:
+		return "unknown"
+	}
+}
+
+// Classes lists the three data-set classes.
+var Classes = []Class{Single, FiveMB, HundredMB}
+
+// Bytes returns the class's target working-set size; Single returns the
+// size of one node.
+func (c Class) Bytes(nodeSize int) int64 {
+	switch c {
+	case Single:
+		return int64(nodeSize)
+	case FiveMB:
+		return 5 << 20
+	default:
+		return 100 << 20
+	}
+}
+
+// NodeSize returns the paper's Table 3 node size in bytes for the key
+// width of K (2296, 4056, 4096 and 3880).
+func NodeSize[K keys.Key]() int {
+	switch keys.Width[K]() {
+	case 1:
+		return 2296
+	case 2:
+		return 4056
+	case 4:
+		return 4096
+	default:
+		return 3880
+	}
+}
+
+// LeafKeys returns the Table 3 per-node key count N_L for K.
+func LeafKeys[K keys.Key]() int {
+	switch keys.Width[K]() {
+	case 1:
+		return 254
+	case 2:
+		return 404
+	case 4:
+		return 338
+	default:
+		return 242
+	}
+}
+
+// NodesFor returns how many completely filled nodes the class comprises.
+func NodesFor[K keys.Key](c Class) int {
+	if c == Single {
+		return 1
+	}
+	n := int(c.Bytes(NodeSize[K]()) / int64(NodeSize[K]()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// KeysFor returns the number of keys the class holds for key type K:
+// nodes × N_L, capped at the domain size of K (the paper fills the entire
+// domain for 8- and 16-bit types; larger working sets are modelled as a
+// forest of domain-filling trees, see TreesFor).
+func KeysFor[K keys.Key](c Class) int {
+	total := NodesFor[K](c) * LeafKeys[K]()
+	if d, ok := domainSize[K](); ok && total > d {
+		return d
+	}
+	return total
+}
+
+// TreesFor returns how many trees of KeysFor keys are needed to reach the
+// class's working-set size. It exceeds 1 only for small key types whose
+// domain cannot fill the class on its own (8- and 16-bit, where the paper
+// fills the entire domain per tree).
+func TreesFor[K keys.Key](c Class) int {
+	want := NodesFor[K](c) * LeafKeys[K]()
+	per := KeysFor[K](c)
+	n := (want + per - 1) / per
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// domainSize returns the number of distinct values of K if it fits an int.
+func domainSize[K keys.Key]() (int, bool) {
+	switch keys.Width[K]() {
+	case 1:
+		return 256, true
+	case 2:
+		return 65536, true
+	default:
+		return 0, false
+	}
+}
+
+// Ascending returns n keys starting at zero in ascending order — the
+// paper's sequence for 32- and 64-bit types, and the Seg-Trie's favourite
+// consecutive-tuple-ID shape. It panics if n exceeds the domain of K.
+func Ascending[K keys.Key](n int) []K {
+	if d, ok := domainSize[K](); ok && n > d {
+		panic(fmt.Sprintf("workload: %d keys exceed the %d-value domain", n, d))
+	}
+	out := make([]K, n)
+	for i := range out {
+		out[i] = K(uint64(i))
+	}
+	return out
+}
+
+// FullDomain returns every value of an 8- or 16-bit key type in ascending
+// order — the paper's data set for small types.
+func FullDomain[K keys.Key]() []K {
+	d, ok := domainSize[K]()
+	if !ok {
+		panic("workload: FullDomain requires an 8- or 16-bit key type")
+	}
+	out := make([]K, d)
+	lo := int64(0)
+	if keys.Signed[K]() {
+		lo = -int64(d / 2)
+	}
+	for i := range out {
+		out[i] = K(lo + int64(i))
+	}
+	return out
+}
+
+// UniformRandom returns n distinct uniformly random keys in ascending
+// order.
+func UniformRandom[K keys.Key](rng *rand.Rand, n int) []K {
+	if d, ok := domainSize[K](); ok && n > d {
+		panic(fmt.Sprintf("workload: %d keys exceed the %d-value domain", n, d))
+	}
+	set := make(map[K]struct{}, n)
+	for len(set) < n {
+		set[K(rng.Uint64())] = struct{}{}
+	}
+	out := make([]K, 0, n)
+	for k := range set {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+// SkewedDepth returns n distinct 64-bit keys that fill exactly depth trie
+// levels (1 ≤ depth ≤ 8): all keys share the topmost 8−depth segments and
+// spread densely below — the Figure 11 data sets ("we skew the data for
+// both Seg-Trie variants to produce the expected level count").
+func SkewedDepth(rng *rand.Rand, n, depth int) []uint64 {
+	if depth < 1 || depth > 8 {
+		panic(fmt.Sprintf("workload: depth %d out of range [1,8]", depth))
+	}
+	if n < 2 {
+		panic("workload: SkewedDepth needs at least 2 keys to pin the depth")
+	}
+	// max is the largest value representable in depth segments.
+	max := ^uint64(0) >> (64 - 8*uint(depth))
+	if uint64(n-1) > max {
+		panic(fmt.Sprintf("workload: %d keys exceed depth-%d span", n, depth))
+	}
+	out := make([]uint64, n)
+	if max/2 < uint64(n) {
+		// Dense: consecutive values cover the lowest depth segments; make
+		// sure the top of the span is touched so all depth levels fill.
+		for i := range out {
+			out[i] = uint64(i)
+		}
+		out[n-1] = max
+	} else {
+		set := make(map[uint64]struct{}, n)
+		// Force the extremes so exactly depth levels are occupied.
+		set[0] = struct{}{}
+		set[max] = struct{}{}
+		for len(set) < n {
+			set[rng.Uint64()&max] = struct{}{}
+		}
+		out = out[:0]
+		for k := range set {
+			out = append(out, k)
+		}
+	}
+	sortKeys(out)
+	return out
+}
+
+// Probes draws count random existing keys (with replacement) — the paper's
+// probe model: "searching x keys in random order" over loaded data.
+func Probes[K keys.Key](rng *rand.Rand, loaded []K, count int) []K {
+	out := make([]K, count)
+	for i := range out {
+		out[i] = loaded[rng.Intn(len(loaded))]
+	}
+	return out
+}
+
+// ProbesWithMisses draws count random probes of which roughly missRatio
+// are keys absent from loaded (drawn uniformly from the domain).
+func ProbesWithMisses[K keys.Key](rng *rand.Rand, loaded []K, count int, missRatio float64) []K {
+	present := make(map[K]struct{}, len(loaded))
+	for _, k := range loaded {
+		present[k] = struct{}{}
+	}
+	out := make([]K, count)
+	for i := range out {
+		if rng.Float64() < missRatio {
+			for {
+				k := K(rng.Uint64())
+				if _, ok := present[k]; !ok {
+					out[i] = k
+					break
+				}
+			}
+			continue
+		}
+		out[i] = loaded[rng.Intn(len(loaded))]
+	}
+	return out
+}
+
+// sortKeys sorts in ascending native order.
+func sortKeys[K keys.Key](xs []K) {
+	slices.Sort(xs)
+}

@@ -1,0 +1,200 @@
+// Package zhouross implements the three SIMD search strategies of Zhou
+// and Ross ("Implementing Database Operations Using SIMD Instructions",
+// SIGMOD 2002) that the paper discusses as related work (§6): an improved
+// binary search that compares a whole SIMD register around the separator,
+// a sequential SIMD scan, and the hybrid of the two. Unlike k-ary search,
+// none of them reorders the sorted list — which is exactly the contrast
+// the paper draws: k-ary search increases the number of *separators*,
+// Zhou-Ross only widens each probe.
+//
+// They serve as additional baselines for the flat-array experiments and
+// ablation benchmarks.
+package zhouross
+
+import (
+	"repro/internal/bitmask"
+	"repro/internal/kary"
+	"repro/internal/keys"
+	"repro/internal/simd"
+)
+
+// List is a plain sorted key list augmented with the packed lane form the
+// SIMD probes read. The keys stay in linear sorted order — no
+// linearization.
+type List[K keys.Key] struct {
+	keys   []K
+	packed []byte // realigned lanes, padded to a register multiple
+	w      int
+	lanes  int
+	obias  uint64
+	lmask  uint64
+}
+
+// New builds a Zhou-Ross searchable list from ascending keys. It panics
+// on unsorted input.
+func New[K keys.Key](sorted []K) *List[K] {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			panic("zhouross: keys not strictly ascending")
+		}
+	}
+	w := keys.Width[K]()
+	lanes := keys.Lanes[K]()
+	l := &List[K]{
+		keys:  sorted,
+		w:     w,
+		lanes: lanes,
+		lmask: ^uint64(0) >> (64 - 8*uint(w)),
+	}
+	if keys.Signed[K]() {
+		l.obias = 1 << (8*uint(w) - 1)
+	}
+	// Pad the packed form with copies of the maximum so a register load
+	// never reads past the end and pads never compare smaller.
+	n := len(sorted)
+	padded := (n + lanes - 1) / lanes * lanes
+	if padded == 0 {
+		padded = lanes
+	}
+	l.packed = make([]byte, padded*w)
+	if n == 0 {
+		return l
+	}
+	for i := 0; i < padded; i++ {
+		x := sorted[n-1]
+		if i < n {
+			x = sorted[i]
+		}
+		keys.PutAt(l.packed, i, x)
+	}
+	return l
+}
+
+// Len reports the number of keys.
+func (l *List[K]) Len() int { return len(l.keys) }
+
+func (l *List[K]) prepare(v K) simd.Search {
+	return simd.NewSearch(l.w, (uint64(v)^l.obias)&l.lmask)
+}
+
+// SequentialSearch is the Zhou-Ross full-bandwidth sequential scan: it
+// compares one register worth of keys at a time from the start and stops
+// at the first register containing a greater key. It returns the index of
+// the first key greater than v.
+func (l *List[K]) SequentialSearch(v K) int {
+	n := len(l.keys)
+	if n == 0 {
+		return 0
+	}
+	if v >= l.keys[n-1] {
+		return n
+	}
+	search := l.prepare(v)
+	step := l.lanes
+	for off := 0; ; off += step {
+		mask := search.GtMask(l.packed[off*l.w:])
+		if mask != 0 {
+			pos := off + bitmask.PopcountEval(mask, l.w)
+			if pos > n {
+				pos = n
+			}
+			return pos
+		}
+	}
+}
+
+// BinarySearch is the Zhou-Ross improved binary search: each iteration
+// loads the full register of keys around the median, so the search space
+// shrinks by the register width rather than a single element per step,
+// and the final register resolves the position without a scalar tail.
+func (l *List[K]) BinarySearch(v K) int {
+	n := len(l.keys)
+	if n == 0 {
+		return 0
+	}
+	if v >= l.keys[n-1] {
+		return n
+	}
+	search := l.prepare(v)
+	step := l.lanes
+	lo, hi := 0, (len(l.packed)/l.w)/step // register-granular range
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		mask := search.GtMask(l.packed[mid*step*l.w:])
+		switch {
+		case mask == 0:
+			// Every key in the register is ≤ v.
+			lo = mid + 1
+		case bitmask.PopcountEval(mask, l.w) == 0:
+			// Every key in the register is > v.
+			hi = mid
+		default:
+			// The switch point lies inside this register.
+			pos := mid*step + bitmask.PopcountEval(mask, l.w)
+			if pos > n {
+				pos = n
+			}
+			return pos
+		}
+	}
+	pos := lo * step
+	if pos > n {
+		pos = n
+	}
+	return pos
+}
+
+// HybridSearch is the Zhou-Ross combination: binary search over registers
+// until the range is small, then a sequential SIMD scan of the remainder.
+func (l *List[K]) HybridSearch(v K) int {
+	const crossover = 8 // registers; below this the scan wins
+	n := len(l.keys)
+	if n == 0 {
+		return 0
+	}
+	if v >= l.keys[n-1] {
+		return n
+	}
+	search := l.prepare(v)
+	step := l.lanes
+	lo, hi := 0, (len(l.packed)/l.w)/step
+	for hi-lo > crossover {
+		mid := int(uint(lo+hi) >> 1)
+		mask := search.GtMask(l.packed[mid*step*l.w:])
+		switch {
+		case mask == 0:
+			lo = mid + 1
+		case bitmask.PopcountEval(mask, l.w) == 0:
+			hi = mid
+		default:
+			pos := mid*step + bitmask.PopcountEval(mask, l.w)
+			if pos > n {
+				pos = n
+			}
+			return pos
+		}
+	}
+	for off := lo * step; off < hi*step+step; off += step {
+		if off*l.w >= len(l.packed) {
+			break
+		}
+		mask := search.GtMask(l.packed[off*l.w:])
+		if mask != 0 {
+			pos := off + bitmask.PopcountEval(mask, l.w)
+			if pos > n {
+				pos = n
+			}
+			return pos
+		}
+	}
+	pos := hi*step + step
+	if pos > n {
+		pos = n
+	}
+	return pos
+}
+
+// ScalarSearch is the classic binary-search baseline.
+func (l *List[K]) ScalarSearch(v K) int {
+	return kary.UpperBound(l.keys, v)
+}

@@ -1,0 +1,114 @@
+package zhouross
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kary"
+	"repro/internal/keys"
+)
+
+func randomSorted[K keys.Key](rng *rand.Rand, n int) []K {
+	set := make(map[K]struct{}, n)
+	for len(set) < n {
+		set[K(rng.Uint64())] = struct{}{}
+	}
+	out := make([]K, 0, n)
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func checkAll[K keys.Key](t *testing.T, rng *rand.Rand, sizes []int) {
+	t.Helper()
+	for _, n := range sizes {
+		ks := randomSorted[K](rng, n)
+		l := New(ks)
+		if l.Len() != n {
+			t.Fatalf("n=%d: len %d", n, l.Len())
+		}
+		probes := make([]K, 0, 3*n+66)
+		for _, x := range ks {
+			probes = append(probes, x, x-1, x+1)
+		}
+		for i := 0; i < 64; i++ {
+			probes = append(probes, K(rng.Uint64()))
+		}
+		if n > 0 {
+			probes = append(probes, ks[0]-1, ks[n-1]+1)
+		}
+		for _, v := range probes {
+			want := kary.UpperBound(ks, v)
+			if got := l.SequentialSearch(v); got != want {
+				t.Fatalf("n=%d sequential(%v): got %d want %d", n, v, got, want)
+			}
+			if got := l.BinarySearch(v); got != want {
+				t.Fatalf("n=%d binary(%v): got %d want %d", n, v, got, want)
+			}
+			if got := l.HybridSearch(v); got != want {
+				t.Fatalf("n=%d hybrid(%v): got %d want %d", n, v, got, want)
+			}
+			if got := l.ScalarSearch(v); got != want {
+				t.Fatalf("n=%d scalar(%v): got %d want %d", n, v, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchesUint8(t *testing.T) {
+	checkAll[uint8](t, rand.New(rand.NewSource(131)), []int{1, 2, 15, 16, 17, 100, 255})
+}
+
+func TestSearchesUint16(t *testing.T) {
+	checkAll[uint16](t, rand.New(rand.NewSource(132)), []int{1, 7, 8, 9, 100, 1000})
+}
+
+func TestSearchesInt32(t *testing.T) {
+	checkAll[int32](t, rand.New(rand.NewSource(133)), []int{1, 3, 4, 5, 333, 2048})
+}
+
+func TestSearchesUint64(t *testing.T) {
+	checkAll[uint64](t, rand.New(rand.NewSource(134)), []int{1, 2, 3, 241, 242, 1000})
+}
+
+func TestEmptyList(t *testing.T) {
+	l := New([]uint32{})
+	if l.SequentialSearch(5) != 0 || l.BinarySearch(5) != 0 || l.HybridSearch(5) != 0 {
+		t.Fatal("empty list searches")
+	}
+}
+
+func TestPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New([]uint32{2, 1})
+}
+
+func TestQuickAgainstUpperBound(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		set := map[uint16]struct{}{}
+		for _, x := range raw {
+			set[x] = struct{}{}
+		}
+		ks := make([]uint16, 0, len(set))
+		for x := range set {
+			ks = append(ks, x)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		l := New(ks)
+		want := kary.UpperBound(ks, probe)
+		return l.SequentialSearch(probe) == want &&
+			l.BinarySearch(probe) == want &&
+			l.HybridSearch(probe) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
