@@ -1,0 +1,47 @@
+# Development targets for the SIMD tree-structure reproduction.
+#
+#   make check   - vet + build + race-enabled tests + fuzz smoke
+#   make test    - plain test run (tier-1 gate)
+#   make bench   - segbench, all experiments, JSON to BENCH_segbench.json
+#   make fuzz    - 5 s smoke run of every fuzz target
+
+GO ?= go
+FUZZTIME ?= 5s
+
+# Every fuzz target in the module, as "package:Target" pairs — go test
+# allows only one -fuzz pattern per invocation.
+FUZZ_TARGETS = \
+	./internal/kary:FuzzSearchUint16 \
+	./internal/kary:FuzzInsertDelete \
+	./internal/segtree:FuzzTreeOps \
+	./internal/segtrie:FuzzTrieOps \
+	./internal/simd:FuzzCompareKernels
+
+.PHONY: check vet build test race fuzz bench clean
+
+check: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%:*}; fn=$${t#*:}; \
+		echo "fuzz $$pkg $$fn"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME); \
+	done
+
+bench:
+	$(GO) run ./cmd/segbench -json BENCH_segbench.json
+
+clean:
+	rm -f BENCH_*.json

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/concurrent"
 	"repro/internal/gentrie"
+	"repro/internal/index"
 	"repro/internal/kary"
 	"repro/internal/keys"
 	"repro/internal/segtree"
@@ -537,6 +539,103 @@ func BenchmarkRangeScan(b *testing.B) {
 	run("segtree", seg.Scan)
 	run("segtrie", trie.Scan)
 	run("opt-segtrie", opt.Scan)
+}
+
+// BenchmarkGetBatchLevelWise measures the level-wise batch search engine
+// against per-probe Get for all four structures on the 5 MB and 100 MB
+// classes (64-bit keys, batches of 256 probes drawn with replacement).
+// The engine sorts each batch, deduplicates equal keys and descends all
+// group cursors level-synchronously; on the out-of-cache 100 MB class
+// that converts dependent pointer chases into grouped, locality-friendly
+// node visits.
+func BenchmarkGetBatchLevelWise(b *testing.B) {
+	const batch = 256
+	for _, class := range []workload.Class{workload.FiveMB, workload.HundredMB} {
+		n := workload.KeysFor[uint64](class)
+		ks := workload.Ascending[uint64](n)
+		vs := make([]uint64, n)
+		rng := rand.New(rand.NewSource(16))
+		probes := workload.Probes(rng, ks, 1<<14)
+
+		trie := segtrie.NewDefault[uint64, uint64]()
+		opt := segtrie.NewOptimizedDefault[uint64, uint64]()
+		for i, k := range ks {
+			trie.Put(k, uint64(i))
+			opt.Put(k, uint64(i))
+		}
+		targets := []struct {
+			name string
+			ix   index.Index[uint64, uint64]
+		}{
+			{"btree", btree.BulkLoad[uint64, uint64](btree.DefaultConfig[uint64](), ks, vs)},
+			{"segtree", segtree.BulkLoad[uint64, uint64](segtree.DefaultConfig[uint64](), ks, vs)},
+			{"segtrie", trie},
+			{"opt-segtrie", opt},
+		}
+		for _, tg := range targets {
+			b.Run(fmt.Sprintf("%s/%s/get-serial", class, tg.name), func(b *testing.B) {
+				hits := 0
+				for i := 0; i < b.N; i++ {
+					if _, ok := tg.ix.Get(probes[i%len(probes)]); ok {
+						hits++
+					}
+				}
+				sink += hits
+			})
+			b.Run(fmt.Sprintf("%s/%s/get-batch", class, tg.name), func(b *testing.B) {
+				hits := 0
+				for i := 0; i < b.N; i += batch {
+					off := i % (len(probes) - batch)
+					_, found := tg.ix.GetBatch(probes[off : off+batch])
+					for _, f := range found {
+						if f {
+							hits++
+						}
+					}
+				}
+				sink += hits
+			})
+		}
+	}
+}
+
+// BenchmarkShardedPut compares concurrent Put throughput of the
+// key-range-sharded index (16 shards, per-shard RW locks) against the
+// single global lock of LockedMap at 1, 4 and 16 writer goroutines over
+// uniformly random 64-bit keys. The inner structure is the B+-Tree
+// baseline: its cheap inserts keep the measurement about lock
+// contention, not about the Seg-Tree's per-node re-linearization cost
+// (which at ~26 µs per random insert would swamp any locking effect).
+func BenchmarkShardedPut(b *testing.B) {
+	run := func(name string, workers int, mk func() interface{ Put(uint64, uint64) bool }) {
+		b.Run(fmt.Sprintf("%s/goroutines%d", name, workers), func(b *testing.B) {
+			m := mk()
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < per; i++ {
+						m.Put(rng.Uint64(), uint64(i))
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+		})
+	}
+	for _, workers := range []int{1, 4, 16} {
+		run("locked", workers, func() interface{ Put(uint64, uint64) bool } {
+			return concurrent.NewLocked[uint64, uint64](btree.NewDefault[uint64, uint64]())
+		})
+		run("sharded16", workers, func() interface{ Put(uint64, uint64) bool } {
+			return index.NewSharded[uint64, uint64](16, func() index.Index[uint64, uint64] {
+				return btree.NewDefault[uint64, uint64]()
+			})
+		})
+	}
 }
 
 // BenchmarkBatchedLookup compares one-at-a-time Get with the

@@ -2,6 +2,7 @@ package simdtree
 
 import (
 	"repro/internal/concurrent"
+	"repro/internal/index"
 	"repro/internal/keys"
 	"repro/internal/zhouross"
 )
@@ -9,6 +10,33 @@ import (
 // Extensions beyond the paper's core contribution: the Zhou-Ross SIMD
 // search strategies it discusses as related work (§6), and thread-safe
 // access, the first of its future-work directions (§7).
+
+// Index is the common interface of every index structure in this module —
+// SegTree, SegTrie, OptimizedSegTrie, BPlusTree and ShardedIndex all
+// satisfy it: point and batched lookups, mutation, ordered iteration and
+// a structure-independent statistics summary.
+type Index[K Key, V any] = index.Index[K, V]
+
+// IndexStats is the structure-independent shape/memory summary every
+// Index reports through IndexStats().
+type IndexStats = index.Stats
+
+// ShardedIndex key-range-partitions any Index across N shards with
+// per-shard readers-writer locks — the scalable concurrent write path
+// (writes to different key ranges proceed in parallel, unlike the single
+// global lock of LockedMap). Ordered operations stay ordered because the
+// partition follows key order.
+type ShardedIndex[K Key, V any] = index.Sharded[K, V]
+
+// NewShardedIndex builds a sharded index over shardCount instances
+// produced by newIndex (one per shard, each must start empty):
+//
+//	s := simdtree.NewShardedIndex[uint64, string](16, func() simdtree.Index[uint64, string] {
+//		return simdtree.NewSegTree[uint64, string]()
+//	})
+func NewShardedIndex[K Key, V any](shardCount int, newIndex func() Index[K, V]) *ShardedIndex[K, V] {
+	return index.NewSharded[K, V](shardCount, newIndex)
+}
 
 // ZhouRossList is a sorted list searchable with the three SIMD strategies
 // of Zhou and Ross (SIGMOD 2002): full-bandwidth sequential scan, improved

@@ -1,7 +1,10 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/bitmask"
@@ -60,8 +63,80 @@ func TestStaticExperimentsProduceTables(t *testing.T) {
 			t.Fatalf("table3 lacks %s:\n%s", want, t3)
 		}
 	}
-	mem := Memory(10000)
+	rec := &Recorder{}
+	mem := Memory(10000, rec)
 	if !strings.Contains(mem, "7.9") && !strings.Contains(mem, "8.0") {
 		t.Fatalf("memory table lacks the ~8x reduction:\n%s", mem)
+	}
+	if got := len(rec.Measurements()); got != 8 { // 4 structures × 2 metrics
+		t.Fatalf("memory recorded %d measurements, want 8", got)
+	}
+}
+
+// TestRecorderJSON verifies the machine-readable output path: concurrent
+// records, JSON round-trip, and the nil-recorder no-op contract the
+// experiments rely on.
+func TestRecorderJSON(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Record(Measurement{Experiment: "x"}) // must not panic
+	if nilRec.Measurements() != nil {
+		t.Fatal("nil recorder returned measurements")
+	}
+
+	rec := &Recorder{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec.Record(Measurement{Experiment: "e", Structure: "s",
+				Metric: "m", Value: float64(i), Unit: "ns/op"})
+		}(i)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Measurement
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, buf.String())
+	}
+	if len(back) != 8 {
+		t.Fatalf("round-trip count %d", len(back))
+	}
+	if back[0].Experiment != "e" || back[0].Unit != "ns/op" {
+		t.Fatalf("round-trip content: %+v", back[0])
+	}
+}
+
+// TestBatchAndShardedExperiments smoke-tests the extension experiments at
+// a tiny probe count on the small classes and checks they emit
+// measurements for every cell. (Batch's public entry point runs the
+// 5 MB and 100 MB classes — too heavy for the test suite.)
+func TestBatchAndShardedExperiments(t *testing.T) {
+	o := Options{Probes: 200, Rounds: 1, Seed: 1, Rec: &Recorder{}}
+	out := batchOver(o, []workload.Class{workload.Single, workload.FiveMB})
+	for _, want := range []string{"btree", "segtree", "opt-segtrie", "Single", "5 MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("batch table lacks %q:\n%s", want, out)
+		}
+	}
+	// 2 classes × 4 structures × 2 metrics.
+	if got := len(o.Rec.Measurements()); got != 16 {
+		t.Fatalf("batch recorded %d measurements, want 16", got)
+	}
+
+	o.Rec = &Recorder{}
+	out = Sharded(o)
+	for _, want := range []string{"1", "4", "16", "Sharded-16"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sharded table lacks %q:\n%s", want, out)
+		}
+	}
+	// 3 goroutine counts × 2 structures.
+	if got := len(o.Rec.Measurements()); got != 6 {
+		t.Fatalf("sharded recorded %d measurements, want 6", got)
 	}
 }

@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bitmask"
 	"repro/internal/btree"
+	"repro/internal/concurrent"
+	"repro/internal/index"
 	"repro/internal/kary"
 	"repro/internal/keys"
 	"repro/internal/segtree"
@@ -24,6 +27,9 @@ type Options struct {
 	Rounds int
 	// Seed for workload generation.
 	Seed int64
+	// Rec, when non-nil, collects every measurement in machine-readable
+	// form alongside the formatted tables.
+	Rec *Recorder
 }
 
 // DefaultOptions mirrors the paper's protocol.
@@ -85,7 +91,10 @@ func Figure9(o Options) string {
 		for _, ev := range bitmask.Evaluators {
 			wb := NewWorkbench[uint8](class, o.Probes, o.Seed,
 				SegTreeBuilder[uint8](kary.BreadthFirst, ev))
-			row = append(row, Ns(wb.RunBest(o.Rounds)))
+			ns := wb.RunBest(o.Rounds)
+			o.Rec.Record(Measurement{Experiment: "fig9", Structure: ev.String(),
+				Class: class.String(), Metric: "search", Value: ns, Unit: "ns/op"})
+			row = append(row, Ns(ns))
 		}
 		rows = append(rows, row)
 	}
@@ -104,6 +113,12 @@ func figure10Row[K keys.Key](name string, o Options) []string {
 			SegTreeBuilder[K](kary.BreadthFirst, bitmask.Popcount)).RunBest(o.Rounds)
 		df := NewWorkbench[K](class, o.Probes, o.Seed,
 			SegTreeBuilder[K](kary.DepthFirst, bitmask.Popcount)).RunBest(o.Rounds)
+		for s, ns := range map[string]float64{
+			name + "/btree-binary": bin, name + "/segtree-bf": bf, name + "/segtree-df": df,
+		} {
+			o.Rec.Record(Measurement{Experiment: "fig10", Structure: s,
+				Class: class.String(), Metric: "search", Value: ns, Unit: "ns/op"})
+		}
 		out = append(out,
 			fmt.Sprintf("%s | bin %s  bf %s (%s)  df %s (%s)",
 				class, Ns(bin), Ns(bf), Speedup(bin, bf), Ns(df), Speedup(bin, df)))
@@ -219,33 +234,46 @@ func figure11Row(o Options, depth, n, caps int) []string {
 // Memory regenerates the abstract's memory claim: key-storage bytes of
 // B+-Tree, Seg-Tree, Seg-Trie and optimized Seg-Trie over ~1.6 M
 // consecutive 64-bit keys (the paper's 100 MB example), plus total bytes
-// including pointers.
-func Memory(keysCount int) string {
+// including pointers. The rec sink may be nil.
+func Memory(keysCount int, rec *Recorder) string {
 	ks := workload.Ascending[uint64](keysCount)
 	vs := make([]uint64, len(ks))
 
-	base := btree.BulkLoad[uint64, uint64](btree.DefaultConfig[uint64](), ks, vs).Stats()
-	seg := segtree.BulkLoad[uint64, uint64](segtree.DefaultConfig[uint64](), ks, vs).Stats()
 	trie := segtrie.NewDefault[uint64, uint64]()
 	opt := segtrie.NewOptimizedDefault[uint64, uint64]()
 	for i, k := range ks {
 		trie.Put(k, uint64(i))
 		opt.Put(k, uint64(i))
 	}
+	stats := []struct {
+		name               string
+		keyBytes, allBytes int64
+	}{}
+	add := func(name string, keyBytes, allBytes int64) {
+		stats = append(stats, struct {
+			name               string
+			keyBytes, allBytes int64
+		}{name, keyBytes, allBytes})
+	}
+	base := btree.BulkLoad[uint64, uint64](btree.DefaultConfig[uint64](), ks, vs).Stats()
+	seg := segtree.BulkLoad[uint64, uint64](segtree.DefaultConfig[uint64](), ks, vs).Stats()
 	ts := trie.Stats()
 	os := opt.Stats()
+	add("B+-Tree (binary)", base.KeyMemoryBytes, base.MemoryBytes)
+	add("Seg-Tree", seg.KeyMemoryBytes, seg.MemoryBytes)
+	add("Seg-Trie", ts.KeyMemoryBytes, ts.MemoryBytes)
+	add("Optimized Seg-Trie", os.KeyMemoryBytes, os.MemoryBytes)
 
-	rows := [][]string{
-		{"B+-Tree (binary)", fmt.Sprint(base.KeyMemoryBytes), "1.00x", fmt.Sprint(base.MemoryBytes)},
-		{"Seg-Tree", fmt.Sprint(seg.KeyMemoryBytes),
-			fmt.Sprintf("%.2fx", float64(base.KeyMemoryBytes)/float64(seg.KeyMemoryBytes)),
-			fmt.Sprint(seg.MemoryBytes)},
-		{"Seg-Trie", fmt.Sprint(ts.KeyMemoryBytes),
-			fmt.Sprintf("%.2fx", float64(base.KeyMemoryBytes)/float64(ts.KeyMemoryBytes)),
-			fmt.Sprint(ts.MemoryBytes)},
-		{"Optimized Seg-Trie", fmt.Sprint(os.KeyMemoryBytes),
-			fmt.Sprintf("%.2fx", float64(base.KeyMemoryBytes)/float64(os.KeyMemoryBytes)),
-			fmt.Sprint(os.MemoryBytes)},
+	var rows [][]string
+	for _, s := range stats {
+		rec.Record(Measurement{Experiment: "memory", Structure: s.name,
+			Metric: "key-bytes", Value: float64(s.keyBytes), Unit: "bytes"})
+		rec.Record(Measurement{Experiment: "memory", Structure: s.name,
+			Metric: "total-bytes", Value: float64(s.allBytes), Unit: "bytes"})
+		rows = append(rows, []string{
+			s.name, fmt.Sprint(s.keyBytes),
+			fmt.Sprintf("%.2fx", float64(base.KeyMemoryBytes)/float64(s.keyBytes)),
+			fmt.Sprint(s.allBytes)})
 	}
 	return FormatTable([]string{"Structure", "Key bytes", "Key reduction", "Total bytes"}, rows)
 }
@@ -294,4 +322,141 @@ func KarySearch(o Options, sizes []int) string {
 		})
 	}
 	return FormatTable([]string{"n", "binary ns/op", "k-ary BF", "k-ary DF", "ZR binary", "ZR hybrid"}, rows)
+}
+
+// Batch measures the level-wise batched search engine against per-probe
+// Get for all four structures on the 5 MB and 100 MB classes (64-bit
+// keys). Probes are drawn with replacement from the loaded keys, batches
+// of 256; the level-wise descent amortizes node searches over duplicate
+// keys and walks sorted probe groups, which pays off once the working
+// set is out of cache.
+func Batch(o Options) string {
+	return batchOver(o, []workload.Class{workload.FiveMB, workload.HundredMB})
+}
+
+func batchOver(o Options, classes []workload.Class) string {
+	const batchSize = 256
+	var rows [][]string
+	for _, class := range classes {
+		n := workload.KeysFor[uint64](class)
+		ks := workload.Ascending[uint64](n)
+		vs := make([]uint64, n)
+		rng := rand.New(rand.NewSource(o.Seed))
+		probes := workload.Probes(rng, ks, o.Probes)
+
+		trie := segtrie.NewDefault[uint64, uint64]()
+		opt := segtrie.NewOptimizedDefault[uint64, uint64]()
+		for i, k := range ks {
+			trie.Put(k, uint64(i))
+			opt.Put(k, uint64(i))
+		}
+		targets := []struct {
+			name string
+			ix   index.Index[uint64, uint64]
+		}{
+			{"btree", btree.BulkLoad[uint64, uint64](btree.DefaultConfig[uint64](), ks, vs)},
+			{"segtree", segtree.BulkLoad[uint64, uint64](segtree.DefaultConfig[uint64](), ks, vs)},
+			{"segtrie", trie},
+			{"opt-segtrie", opt},
+		}
+		for _, tg := range targets {
+			serial := bestOf(o.Rounds, func() float64 {
+				hits := 0
+				start := time.Now()
+				for _, p := range probes {
+					if _, ok := tg.ix.Get(p); ok {
+						hits++
+					}
+				}
+				Sink += hits
+				return float64(time.Since(start).Nanoseconds()) / float64(len(probes))
+			})
+			batched := bestOf(o.Rounds, func() float64 {
+				hits := 0
+				start := time.Now()
+				for off := 0; off < len(probes); off += batchSize {
+					end := min(off+batchSize, len(probes))
+					_, found := tg.ix.GetBatch(probes[off:end])
+					for _, f := range found {
+						if f {
+							hits++
+						}
+					}
+				}
+				Sink += hits
+				return float64(time.Since(start).Nanoseconds()) / float64(len(probes))
+			})
+			o.Rec.Record(Measurement{Experiment: "batch", Structure: tg.name,
+				Class: class.String(), Metric: "get-serial", Value: serial, Unit: "ns/op"})
+			o.Rec.Record(Measurement{Experiment: "batch", Structure: tg.name,
+				Class: class.String(), Metric: "get-batch-levelwise", Value: batched, Unit: "ns/op"})
+			rows = append(rows, []string{class.String(), tg.name,
+				Ns(serial), Ns(batched), Speedup(serial, batched)})
+		}
+	}
+	return FormatTable(
+		[]string{"Data set", "Structure", "Get ns/op", "GetBatch ns/op", "Speedup"}, rows)
+}
+
+// bestOf runs fn rounds times and keeps the fastest result.
+func bestOf(rounds int, fn func() float64) float64 {
+	best := fn()
+	for i := 1; i < rounds; i++ {
+		if t := fn(); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// Sharded measures concurrent Put throughput of the key-range-sharded
+// index against the single global readers-writer lock (concurrent.Locked)
+// at 1, 4 and 16 goroutines. Every worker writes uniformly random 64-bit
+// keys, so under sharding the writers mostly hit distinct shards and
+// proceed in parallel. The inner structure is the cheap-insert B+-Tree
+// baseline so the measurement isolates locking, not the Seg-Tree's
+// re-linearization cost.
+func Sharded(o Options) string {
+	opsPerWorker := o.Probes
+	if opsPerWorker > 50000 {
+		opsPerWorker = 50000
+	}
+	measure := func(workers int, put func(uint64, uint64) bool) float64 {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerWorker; i++ {
+					put(rng.Uint64(), uint64(i))
+				}
+			}(o.Seed + int64(w))
+		}
+		wg.Wait()
+		return float64(time.Since(start).Nanoseconds()) / float64(workers*opsPerWorker)
+	}
+
+	var rows [][]string
+	for _, workers := range []int{1, 4, 16} {
+		locked := bestOf(o.Rounds, func() float64 {
+			l := concurrent.NewLocked[uint64, uint64](btree.NewDefault[uint64, uint64]())
+			return measure(workers, l.Put)
+		})
+		sharded := bestOf(o.Rounds, func() float64 {
+			s := index.NewSharded[uint64, uint64](16, func() index.Index[uint64, uint64] {
+				return btree.NewDefault[uint64, uint64]()
+			})
+			return measure(workers, s.Put)
+		})
+		o.Rec.Record(Measurement{Experiment: "sharded", Structure: "locked",
+			Class: fmt.Sprintf("goroutines=%d", workers), Metric: "put", Value: locked, Unit: "ns/op"})
+		o.Rec.Record(Measurement{Experiment: "sharded", Structure: "sharded-16",
+			Class: fmt.Sprintf("goroutines=%d", workers), Metric: "put", Value: sharded, Unit: "ns/op"})
+		rows = append(rows, []string{fmt.Sprint(workers),
+			Ns(locked), Ns(sharded), Speedup(locked, sharded)})
+	}
+	return FormatTable(
+		[]string{"Goroutines", "Locked put ns/op", "Sharded-16 put ns/op", "Speedup"}, rows)
 }

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Measurement is one machine-readable data point emitted by an
+// experiment alongside its formatted table — experiment and structure
+// identify the measurement, Metric/Unit say what was measured.
+type Measurement struct {
+	Experiment string  `json:"experiment"`
+	Structure  string  `json:"structure"`
+	Class      string  `json:"class,omitempty"` // data-set class or axis label
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit"`
+}
+
+// Recorder collects Measurements from experiments. A nil *Recorder is a
+// valid no-op sink, so experiments record unconditionally and callers
+// opt in by setting Options.Rec.
+type Recorder struct {
+	mu sync.Mutex
+	ms []Measurement
+}
+
+// Record appends one measurement; safe for concurrent use and on a nil
+// receiver.
+func (r *Recorder) Record(m Measurement) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ms = append(r.ms, m)
+	r.mu.Unlock()
+}
+
+// Measurements returns a copy of everything recorded so far.
+func (r *Recorder) Measurements() []Measurement {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Measurement, len(r.ms))
+	copy(out, r.ms)
+	return out
+}
+
+// WriteJSON writes the recorded measurements as an indented JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	ms := r.Measurements()
+	if ms == nil {
+		ms = []Measurement{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ms)
+}
+
+// WriteJSONFile writes the recorded measurements to path.
+func (r *Recorder) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,31 +1,47 @@
 package btree
 
-import "repro/internal/kary"
+import (
+	"repro/internal/index"
+	"repro/internal/kary"
+)
 
-// GetBatch looks up many keys with a level-synchronized descent, the
-// binary-search counterpart of the Seg-Tree's batched lookup (see
-// segtree.GetBatch); used as the baseline in batched benchmarks.
+// The baseline B+-Tree satisfies the module-wide index contract; batched
+// lookups run on the shared level-wise engine.
+var _ index.Index[uint32, int] = (*Tree[uint32, int])(nil)
+
+// GetBatch looks up many keys through the shared level-wise batch engine
+// (index.LevelWise) — the binary-search counterpart of the Seg-Tree's
+// batched lookup, used as the baseline in batched benchmarks. It returns
+// the values and a parallel found mask, in input order.
 func (t *Tree[K, V]) GetBatch(ks []K) ([]V, []bool) {
-	n := len(ks)
-	vals := make([]V, n)
-	found := make([]bool, n)
-	if n == 0 {
-		return vals, found
+	return index.LevelWise[K, V](ks, t.root,
+		func(n *node[K, V]) bool { return n.leaf() },
+		func(n *node[K, V], i int) *node[K, V] {
+			return n.children[kary.UpperBound(n.keys, ks[i])]
+		},
+		func(n *node[K, V], i int) (v V, ok bool) {
+			if j := kary.UpperBound(n.keys, ks[i]); j > 0 && n.keys[j-1] == ks[i] {
+				return n.vals[j-1], true
+			}
+			return v, false
+		})
+}
+
+// ContainsBatch reports presence for many keys at once, in input order.
+func (t *Tree[K, V]) ContainsBatch(ks []K) []bool {
+	_, found := t.GetBatch(ks)
+	return found
+}
+
+// IndexStats summarizes the tree in the structure-independent terms of
+// the index layer; Stats retains the B+-Tree-specific breakdown.
+func (t *Tree[K, V]) IndexStats() index.Stats {
+	s := t.Stats()
+	return index.Stats{
+		Keys:           s.Keys,
+		Height:         s.Height,
+		Nodes:          s.BranchNodes + s.LeafNodes,
+		MemoryBytes:    s.MemoryBytes,
+		KeyMemoryBytes: s.KeyMemoryBytes,
 	}
-	nodes := make([]*node[K, V], n)
-	for i := range nodes {
-		nodes[i] = t.root
-	}
-	for depth := t.Height(); depth > 1; depth-- {
-		for i, nd := range nodes {
-			nodes[i] = nd.children[kary.UpperBound(nd.keys, ks[i])]
-		}
-	}
-	for i, nd := range nodes {
-		if j := kary.UpperBound(nd.keys, ks[i]); j > 0 && nd.keys[j-1] == ks[i] {
-			vals[i] = nd.vals[j-1]
-			found[i] = true
-		}
-	}
-	return vals, found
 }

@@ -9,23 +9,24 @@
 // exclusive. ParallelSearch shards a probe batch over worker goroutines
 // against a read-only index, the data-parallel pattern the paper
 // anticipates for concurrently used index structures.
+//
+// Locked serializes every write behind one global lock; for a scalable
+// concurrent write path use index.Sharded, which key-range-partitions any
+// index.Index across independently locked shards.
 package concurrent
 
 import (
 	"runtime"
 	"sync"
 
+	"repro/internal/index"
 	"repro/internal/keys"
 )
 
 // Map is the common mutable interface of every index in this module
-// (Seg-Tree, Seg-Trie, optimized Seg-Trie, baseline B+-Tree).
-type Map[K keys.Key, V any] interface {
-	Get(K) (V, bool)
-	Put(K, V) bool
-	Delete(K) bool
-	Len() int
-}
+// (Seg-Tree, Seg-Trie, optimized Seg-Trie, baseline B+-Tree) — the
+// index layer's Basic surface.
+type Map[K keys.Key, V any] = index.Basic[K, V]
 
 // Locked makes any Map safe for concurrent use: lookups share a read
 // lock, mutations take the write lock.
@@ -47,10 +48,42 @@ func (l *Locked[K, V]) Get(key K) (V, bool) {
 	return v, ok
 }
 
-// Contains reports whether key is present.
+// Contains reports whether key is present. The read lock is taken once
+// directly (not by delegating through Get), so the underlying structure's
+// own Contains fast path runs when it has one.
 func (l *Locked[K, V]) Contains(key K) bool {
-	_, ok := l.Get(key)
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if c, ok := l.m.(interface{ Contains(K) bool }); ok {
+		return c.Contains(key)
+	}
+	_, ok := l.m.Get(key)
 	return ok
+}
+
+// GetBatch looks up many keys under a single read-lock acquisition. When
+// the wrapped map implements the index layer's batched lookup the
+// level-wise engine runs; otherwise the keys are probed one by one, still
+// under the one lock. Results are in input order.
+func (l *Locked[K, V]) GetBatch(ks []K) ([]V, []bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if b, ok := l.m.(index.Batcher[K, V]); ok {
+		return b.GetBatch(ks)
+	}
+	vals := make([]V, len(ks))
+	found := make([]bool, len(ks))
+	for i, k := range ks {
+		vals[i], found[i] = l.m.Get(k)
+	}
+	return vals, found
+}
+
+// ContainsBatch reports presence for many keys under a single read-lock
+// acquisition, in input order.
+func (l *Locked[K, V]) ContainsBatch(ks []K) []bool {
+	_, found := l.GetBatch(ks)
+	return found
 }
 
 // Put stores val under key, returning true when the key was new.

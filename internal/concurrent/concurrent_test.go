@@ -84,6 +84,46 @@ func TestLockedWrapsAllStructures(t *testing.T) {
 	}
 }
 
+// TestLockedGetBatch verifies the single-RLock batched lookup: parity
+// with per-key Get both for maps with a native level-wise GetBatch (the
+// Seg-Tree) and for maps without one (a plain Go map fallback).
+func TestLockedGetBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tree := segtree.NewDefault[uint32, int]()
+	plain := mapIndex{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Uint32() % 5000
+		tree.Put(k, i)
+		plain.Put(k, i)
+	}
+	probes := make([]uint32, 1000)
+	for i := range probes {
+		probes[i] = rng.Uint32() % 10000
+	}
+	for name, l := range map[string]*Locked[uint32, int]{
+		"native-batcher": NewLocked[uint32, int](tree),
+		"get-fallback":   NewLocked[uint32, int](plain),
+	} {
+		vals, found := l.GetBatch(probes)
+		cb := l.ContainsBatch(probes)
+		for i, p := range probes {
+			wv, wok := l.Get(p)
+			if found[i] != wok || (wok && vals[i] != wv) || cb[i] != wok {
+				t.Fatalf("%s: batch[%d] key %d: got (%d,%v,%v) want (%d,%v)",
+					name, i, p, vals[i], found[i], cb[i], wv, wok)
+			}
+		}
+	}
+}
+
+// mapIndex is a Map without GetBatch, to exercise the fallback path.
+type mapIndex map[uint32]int
+
+func (m mapIndex) Get(k uint32) (int, bool) { v, ok := m[k]; return v, ok }
+func (m mapIndex) Put(k uint32, v int) bool { _, ok := m[k]; m[k] = v; return !ok }
+func (m mapIndex) Delete(k uint32) bool     { _, ok := m[k]; delete(m, k); return ok }
+func (m mapIndex) Len() int                 { return len(m) }
+
 func TestViewAndUpdate(t *testing.T) {
 	l := NewLocked[uint32, int](segtree.NewDefault[uint32, int]())
 	l.Update(func(m Map[uint32, int]) {

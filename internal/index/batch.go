@@ -1,0 +1,101 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/keys"
+)
+
+// This file is the level-wise batch search engine shared by all four tree
+// structures. It follows the level-wise B+-Tree batch traversal of
+// Tzschoppe et al. (arXiv:2604.21117): probes are sorted, probes with
+// equal keys collapse into one group, and all groups descend the tree one
+// level at a time.
+//
+// Two effects pay for the sort. First, each inner node's search (the
+// linearized k-ary SIMD search in the Seg-Tree and Seg-Trie, binary
+// search in the baseline) runs once per probe group instead of once per
+// probe — with the paper's probe model (10,000 random draws from the
+// loaded keys, with replacement) duplicate probes are common. Second, the
+// descent is breadth-synchronous: at every level the groups touch nodes
+// in ascending key order, so adjacent groups hit the same node while it
+// is cache-hot, and the independent node loads of different groups
+// overlap in the memory system instead of each lookup serializing its own
+// cache-miss chain — the batch-oriented processing style the paper's GPU
+// outlook (§7) anticipates.
+
+// LevelWise runs the level-synchronized, probe-sorted batch descent for
+// one tree. It is generic over the tree's node handle N so that each
+// structure keeps its own node layout (the engine never sees keys inside
+// nodes): segtree and btree pass node pointers, the tries pass a
+// (node, level) pair.
+//
+// The zero value of N terminates a probe: atLeaf selects between step
+// (one branch-level descent; returning zero N reports a miss above leaf
+// level, the Seg-Trie's comparison-saving early exit) and resolve (the
+// leaf lookup). Both callbacks receive the probe index i of the group's
+// representative and must depend only on ks[i] and the node — probes with
+// equal keys share one descent and one result.
+//
+// It returns values and a parallel found mask, in input order.
+func LevelWise[K keys.Key, V any, N comparable](
+	ks []K,
+	root N,
+	atLeaf func(n N) bool,
+	step func(n N, i int) N,
+	resolve func(n N, i int) (V, bool),
+) ([]V, []bool) {
+	var zero N
+	n := len(ks)
+	vals := make([]V, n)
+	found := make([]bool, n)
+	if n == 0 || root == zero {
+		return vals, found
+	}
+
+	// Sorted probe order; runs of equal keys become one group.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return ks[order[a]] < ks[order[b]] })
+	groups := make([]int32, 0, n+1)
+	for j := 0; j < n; j++ {
+		if j == 0 || ks[order[j]] != ks[order[j-1]] {
+			groups = append(groups, int32(j))
+		}
+	}
+	groups = append(groups, int32(n))
+
+	// One cursor per group; every pass advances each live cursor exactly
+	// one level, so the whole batch crosses the tree breadth-synchronously.
+	nodes := make([]N, len(groups)-1)
+	for g := range nodes {
+		nodes[g] = root
+	}
+	active := len(nodes)
+	for active > 0 {
+		for g, nd := range nodes {
+			if nd == zero {
+				continue
+			}
+			rep := int(order[groups[g]])
+			if atLeaf(nd) {
+				v, ok := resolve(nd, rep)
+				if ok {
+					for j := groups[g]; j < groups[g+1]; j++ {
+						vals[order[j]] = v
+						found[order[j]] = true
+					}
+				}
+				nodes[g] = zero
+				active--
+				continue
+			}
+			if nodes[g] = step(nd, rep); nodes[g] == zero {
+				active--
+			}
+		}
+	}
+	return vals, found
+}

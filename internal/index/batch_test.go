@@ -1,0 +1,134 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// toyNode is a minimal two-level tree for driving the engine directly: a
+// root that routes by key range to leaves holding sorted (key, value)
+// runs. It lets the tests observe callback counts, which the real trees
+// hide.
+type toyNode struct {
+	children []*toyNode // root only
+	bounds   []uint16   // child i holds keys < bounds[i]
+	ks       []uint16   // leaf only
+	vs       []int
+}
+
+func buildToy(fanout, perLeaf int) *toyNode {
+	root := &toyNode{}
+	next := uint16(0)
+	for c := 0; c < fanout; c++ {
+		leaf := &toyNode{}
+		for j := 0; j < perLeaf; j++ {
+			leaf.ks = append(leaf.ks, next)
+			leaf.vs = append(leaf.vs, int(next)*10)
+			next += 2 // odd keys are misses
+		}
+		root.children = append(root.children, leaf)
+		root.bounds = append(root.bounds, next)
+	}
+	return root
+}
+
+func (n *toyNode) route(k uint16) *toyNode {
+	for i, b := range n.bounds {
+		if k < b {
+			return n.children[i]
+		}
+	}
+	return n.children[len(n.children)-1]
+}
+
+func (n *toyNode) lookup(k uint16) (int, bool) {
+	for i, key := range n.ks {
+		if key == k {
+			return n.vs[i], true
+		}
+	}
+	return 0, false
+}
+
+func TestLevelWiseMatchesDirectLookup(t *testing.T) {
+	root := buildToy(8, 32)
+	rng := rand.New(rand.NewSource(3))
+	probes := make([]uint16, 500)
+	for i := range probes {
+		probes[i] = uint16(rng.Intn(8 * 32 * 2))
+	}
+	vals, found := LevelWise[uint16, int](probes, root,
+		func(n *toyNode) bool { return n.children == nil },
+		func(n *toyNode, i int) *toyNode { return n.route(probes[i]) },
+		func(n *toyNode, i int) (int, bool) { return n.lookup(probes[i]) })
+	for i, p := range probes {
+		wantV, wantOK := root.route(p).lookup(p)
+		if found[i] != wantOK || (wantOK && vals[i] != wantV) {
+			t.Fatalf("probe %d key %d: got (%d,%v), want (%d,%v)",
+				i, p, vals[i], found[i], wantV, wantOK)
+		}
+	}
+}
+
+// TestLevelWiseGroupsDuplicates pins the engine's amortization contract:
+// the per-node search callbacks run once per distinct key, not once per
+// probe.
+func TestLevelWiseGroupsDuplicates(t *testing.T) {
+	root := buildToy(4, 8)
+	probes := []uint16{6, 6, 6, 0, 40, 6, 0, 40, 40, 13}
+	distinct := 4 // {0, 6, 13, 40}
+	steps, resolves := 0, 0
+	_, found := LevelWise[uint16, int](probes, root,
+		func(n *toyNode) bool { return n.children == nil },
+		func(n *toyNode, i int) *toyNode { steps++; return n.route(probes[i]) },
+		func(n *toyNode, i int) (int, bool) { resolves++; return n.lookup(probes[i]) })
+	if steps != distinct || resolves != distinct {
+		t.Fatalf("steps=%d resolves=%d, want %d each", steps, resolves, distinct)
+	}
+	for i, p := range probes {
+		if want := p%2 == 0; found[i] != want {
+			t.Fatalf("probe %d key %d: found=%v", i, p, found[i])
+		}
+	}
+}
+
+// TestLevelWiseEarlyTermination covers the trie-style miss above leaf
+// level: step returning the zero node handle ends the probe as not found
+// without touching resolve.
+func TestLevelWiseEarlyTermination(t *testing.T) {
+	root := buildToy(4, 8)
+	probes := []uint16{999, 2, 999}
+	resolves := 0
+	vals, found := LevelWise[uint16, int](probes, root,
+		func(n *toyNode) bool { return n.children == nil },
+		func(n *toyNode, i int) *toyNode {
+			if probes[i] > 500 {
+				return nil // early miss
+			}
+			return n.route(probes[i])
+		},
+		func(n *toyNode, i int) (int, bool) { resolves++; return n.lookup(probes[i]) })
+	if found[0] || found[2] || !found[1] || vals[1] != 20 {
+		t.Fatalf("early termination: vals=%v found=%v", vals, found)
+	}
+	if resolves != 1 {
+		t.Fatalf("resolve ran %d times, want 1", resolves)
+	}
+}
+
+func TestLevelWiseEmptyInputs(t *testing.T) {
+	if vals, found := LevelWise[uint16, int](nil, buildToy(2, 2),
+		func(*toyNode) bool { return true },
+		func(n *toyNode, i int) *toyNode { return nil },
+		func(*toyNode, int) (int, bool) { return 0, false }); len(vals) != 0 || len(found) != 0 {
+		t.Fatal("nil probes")
+	}
+	// Zero root (empty optimized trie): every probe misses.
+	_, found := LevelWise[uint16, int]([]uint16{1, 2}, (*toyNode)(nil),
+		func(*toyNode) bool { t.Fatal("atLeaf on zero root"); return false },
+		func(n *toyNode, i int) *toyNode { return nil },
+		func(*toyNode, int) (int, bool) { return 0, false })
+	if found[0] || found[1] {
+		t.Fatal("zero root hit")
+	}
+}

@@ -1,0 +1,296 @@
+package index_test
+
+// The table-driven conformance suite of the index layer: one set of
+// semantic checks exercised against every structure in the module — the
+// four tree structures across both linearization layouts and all three
+// bitmask evaluators, plus the Sharded wrapper over each structure. It
+// replaces the per-package copies of the same checks (batch parity,
+// put/get/delete semantics) that predated the shared layer.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bitmask"
+	"repro/internal/btree"
+	"repro/internal/index"
+	"repro/internal/kary"
+	"repro/internal/segtree"
+	"repro/internal/segtrie"
+)
+
+type maker struct {
+	name string
+	new  func() index.Index[uint32, int]
+}
+
+// makers enumerates every conforming implementation: the baseline B+-Tree
+// (binary search — no layout or evaluator axis), the three SIMD
+// structures across layouts × evaluators, and Sharded over one
+// representative of each structure kind.
+func makers() []maker {
+	// Small node capacities force real splits/merges at test sizes.
+	newSegTree := func(layout kary.Layout, ev bitmask.Evaluator) func() index.Index[uint32, int] {
+		return func() index.Index[uint32, int] {
+			return segtree.New[uint32, int](segtree.Config{
+				LeafCap: 6, BranchCap: 6, Layout: layout, Evaluator: ev,
+			})
+		}
+	}
+	newTrie := func(layout kary.Layout, ev bitmask.Evaluator) func() index.Index[uint32, int] {
+		return func() index.Index[uint32, int] {
+			return segtrie.New[uint32, int](segtrie.Config{Layout: layout, Evaluator: ev})
+		}
+	}
+	newOpt := func(layout kary.Layout, ev bitmask.Evaluator) func() index.Index[uint32, int] {
+		return func() index.Index[uint32, int] {
+			return segtrie.NewOptimized[uint32, int](segtrie.Config{Layout: layout, Evaluator: ev})
+		}
+	}
+	newBTree := func() index.Index[uint32, int] {
+		return btree.New[uint32, int](btree.Config{LeafCap: 6, BranchCap: 6})
+	}
+
+	ms := []maker{{"btree", newBTree}}
+	for _, layout := range kary.Layouts {
+		for _, ev := range bitmask.Evaluators {
+			ms = append(ms,
+				maker{fmt.Sprintf("segtree/%v/%v", layout, ev), newSegTree(layout, ev)},
+				maker{fmt.Sprintf("segtrie/%v/%v", layout, ev), newTrie(layout, ev)},
+				maker{fmt.Sprintf("opt-segtrie/%v/%v", layout, ev), newOpt(layout, ev)},
+			)
+		}
+	}
+	sharded := func(inner func() index.Index[uint32, int]) func() index.Index[uint32, int] {
+		return func() index.Index[uint32, int] {
+			return index.NewSharded[uint32, int](5, inner)
+		}
+	}
+	df, pc := kary.DepthFirst, bitmask.Popcount
+	ms = append(ms,
+		maker{"sharded/segtree", sharded(newSegTree(df, pc))},
+		maker{"sharded/btree", sharded(newBTree)},
+		maker{"sharded/segtrie", sharded(newTrie(kary.BreadthFirst, pc))},
+		maker{"sharded/opt-segtrie", sharded(newOpt(kary.BreadthFirst, pc))},
+	)
+	return ms
+}
+
+// TestConformance drives every implementation through the same script:
+// empty-index semantics, a randomized mixed workload verified against a
+// reference map, ordered iteration, range scans, batched-lookup parity
+// with per-probe Get, and statistics sanity.
+func TestConformance(t *testing.T) {
+	for _, m := range makers() {
+		t.Run(m.name, func(t *testing.T) {
+			testEmpty(t, m.new())
+			ix := m.new()
+			ref := applyMixedWorkload(t, ix, 3000, 101)
+			verifyAgainstReference(t, ix, ref)
+			verifyIteration(t, ix, ref)
+			verifyBatchParity(t, ix, ref, 223)
+			verifyStats(t, ix, ref)
+		})
+	}
+}
+
+func testEmpty(t *testing.T, ix index.Index[uint32, int]) {
+	t.Helper()
+	if ix.Len() != 0 {
+		t.Fatalf("empty Len = %d", ix.Len())
+	}
+	if _, ok := ix.Get(7); ok {
+		t.Fatal("empty Get hit")
+	}
+	if ix.Contains(7) {
+		t.Fatal("empty Contains hit")
+	}
+	if _, _, ok := ix.Min(); ok {
+		t.Fatal("empty Min ok")
+	}
+	if _, _, ok := ix.Max(); ok {
+		t.Fatal("empty Max ok")
+	}
+	if ix.Delete(7) {
+		t.Fatal("empty Delete hit")
+	}
+	if vals, found := ix.GetBatch(nil); len(vals) != 0 || len(found) != 0 {
+		t.Fatal("empty nil batch")
+	}
+	if _, found := ix.GetBatch([]uint32{1, 2}); found[0] || found[1] {
+		t.Fatal("empty batch hit")
+	}
+	ix.Ascend(func(uint32, int) bool { t.Fatal("empty Ascend call"); return false })
+	ix.Scan(0, ^uint32(0), func(uint32, int) bool { t.Fatal("empty Scan call"); return false })
+	if s := ix.IndexStats(); s.Keys != 0 {
+		t.Fatalf("empty stats keys %d", s.Keys)
+	}
+}
+
+// applyMixedWorkload runs a seeded Put/Delete/Get mix, checking each
+// operation's return value against a reference map as it goes.
+func applyMixedWorkload(t *testing.T, ix index.Index[uint32, int], ops int, seed int64) map[uint32]int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := map[uint32]int{}
+	for i := 0; i < ops; i++ {
+		k := uint32(rng.Intn(2000))
+		switch rng.Intn(4) {
+		case 0, 1:
+			_, existed := ref[k]
+			if added := ix.Put(k, i); added != !existed {
+				t.Fatalf("op %d: Put(%d) added=%v, want %v", i, k, added, !existed)
+			}
+			ref[k] = i
+		case 2:
+			_, existed := ref[k]
+			if removed := ix.Delete(k); removed != existed {
+				t.Fatalf("op %d: Delete(%d) removed=%v, want %v", i, k, removed, existed)
+			}
+			delete(ref, k)
+		default:
+			want, existed := ref[k]
+			if got, ok := ix.Get(k); ok != existed || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", i, k, got, ok, want, existed)
+			}
+		}
+	}
+	return ref
+}
+
+func sortedKeys(ref map[uint32]int) []uint32 {
+	ks := make([]uint32, 0, len(ref))
+	for k := range ref {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	return ks
+}
+
+func verifyAgainstReference(t *testing.T, ix index.Index[uint32, int], ref map[uint32]int) {
+	t.Helper()
+	if ix.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := ix.Get(k); !ok || got != want {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, got, ok, want)
+		}
+		if !ix.Contains(k) {
+			t.Fatalf("Contains(%d) = false", k)
+		}
+	}
+	ks := sortedKeys(ref)
+	if len(ks) == 0 {
+		return
+	}
+	if k, v, ok := ix.Min(); !ok || k != ks[0] || v != ref[ks[0]] {
+		t.Fatalf("Min = (%d,%d,%v), want (%d,%d,true)", k, v, ok, ks[0], ref[ks[0]])
+	}
+	last := ks[len(ks)-1]
+	if k, v, ok := ix.Max(); !ok || k != last || v != ref[last] {
+		t.Fatalf("Max = (%d,%d,%v), want (%d,%d,true)", k, v, ok, last, ref[last])
+	}
+}
+
+func verifyIteration(t *testing.T, ix index.Index[uint32, int], ref map[uint32]int) {
+	t.Helper()
+	ks := sortedKeys(ref)
+	i := 0
+	ix.Ascend(func(k uint32, v int) bool {
+		if i >= len(ks) || k != ks[i] || v != ref[k] {
+			t.Fatalf("Ascend item %d: (%d,%d)", i, k, v)
+		}
+		i++
+		return true
+	})
+	if i != len(ks) {
+		t.Fatalf("Ascend visited %d of %d", i, len(ks))
+	}
+	// Early termination stops the walk.
+	i = 0
+	ix.Ascend(func(uint32, int) bool { i++; return i < 3 })
+	if want := min(3, len(ks)); i != want {
+		t.Fatalf("Ascend early stop visited %d, want %d", i, want)
+	}
+	// Range scans over a few windows, including partial and empty ones.
+	for _, win := range [][2]uint32{{0, 2000}, {500, 700}, {1999, 1999}, {3000, 4000}} {
+		lo, hi := win[0], win[1]
+		var want []uint32
+		for _, k := range ks {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		var got []uint32
+		ix.Scan(lo, hi, func(k uint32, v int) bool {
+			if v != ref[k] {
+				t.Fatalf("Scan[%d,%d] key %d value %d, want %d", lo, hi, k, v, ref[k])
+			}
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("Scan[%d,%d] visited %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("Scan[%d,%d] item %d: %d, want %d", lo, hi, j, got[j], want[j])
+			}
+		}
+	}
+	// Inverted bounds yield nothing.
+	ix.Scan(10, 5, func(uint32, int) bool { t.Fatal("Scan(10,5) call"); return false })
+}
+
+// verifyBatchParity is the acceptance property: GetBatch must return
+// results identical to per-probe Get, for probe mixes with hits, misses
+// and duplicates.
+func verifyBatchParity(t *testing.T, ix index.Index[uint32, int], ref map[uint32]int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ks := sortedKeys(ref)
+	probes := make([]uint32, 600)
+	for i := range probes {
+		switch {
+		case len(ks) > 0 && i%3 != 2:
+			probes[i] = ks[rng.Intn(len(ks))] // hit, with replacement: duplicates
+		default:
+			probes[i] = uint32(rng.Intn(4000)) // ~half misses
+		}
+	}
+	vals, found := ix.GetBatch(probes)
+	if len(vals) != len(probes) || len(found) != len(probes) {
+		t.Fatalf("batch sizes %d/%d", len(vals), len(found))
+	}
+	for i, p := range probes {
+		wv, wok := ix.Get(p)
+		if found[i] != wok || (wok && vals[i] != wv) {
+			t.Fatalf("batch[%d] key %d: got (%d,%v), want (%d,%v)", i, p, vals[i], found[i], wv, wok)
+		}
+	}
+	cb := ix.ContainsBatch(probes)
+	for i := range probes {
+		if cb[i] != found[i] {
+			t.Fatalf("ContainsBatch[%d] = %v, GetBatch found %v", i, cb[i], found[i])
+		}
+	}
+}
+
+func verifyStats(t *testing.T, ix index.Index[uint32, int], ref map[uint32]int) {
+	t.Helper()
+	s := ix.IndexStats()
+	if s.Keys != len(ref) {
+		t.Fatalf("stats keys %d, want %d", s.Keys, len(ref))
+	}
+	if len(ref) > 0 {
+		if s.Nodes < 1 || s.Height < 1 {
+			t.Fatalf("stats shape: %+v", s)
+		}
+		if s.KeyMemoryBytes <= 0 || s.MemoryBytes < s.KeyMemoryBytes {
+			t.Fatalf("stats memory: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package index is the shared core of every tree structure in this
+// module. Before it existed, the Seg-Tree (§3), Seg-Trie (§4), optimized
+// Seg-Trie and the baseline B+-Tree each hand-rolled the same lookup,
+// batch, iteration and statistics surface; this package is the single
+// home for
+//
+//   - the common Index interface every structure satisfies (and the
+//     conformance suite that pins its semantics, see conformance_test.go),
+//   - the level-wise batch search engine (batch.go) behind every
+//     GetBatch/ContainsBatch, after the level-wise B+-Tree traversal of
+//     Tzschoppe et al. and the single-node-layout reuse of the B^S-tree,
+//   - the key-range sharded concurrent index (sharded.go), the scalable
+//     write path the single-lock concurrent.Locked cannot provide.
+//
+// The package sits below the structure packages: it imports only
+// internal/keys, and segtree/segtrie/btree import it for the engine.
+package index
+
+import "repro/internal/keys"
+
+// Basic is the minimal mutable map surface shared by every structure —
+// the subset concurrent wrappers need. concurrent.Map is this interface.
+type Basic[K keys.Key, V any] interface {
+	// Get returns the value stored under key, if present.
+	Get(K) (V, bool)
+	// Put stores a value under key, returning true when the key was new.
+	Put(K, V) bool
+	// Delete removes key, reporting whether it was present.
+	Delete(K) bool
+	// Len reports the number of stored items.
+	Len() int
+}
+
+// Batcher is the batched-lookup face of an index. All four structures
+// implement it through the level-wise engine in this package.
+type Batcher[K keys.Key, V any] interface {
+	// GetBatch looks up many keys at once and returns values and a
+	// parallel found mask, both in input order.
+	GetBatch([]K) ([]V, []bool)
+	// ContainsBatch reports presence for many keys at once, in input
+	// order.
+	ContainsBatch([]K) []bool
+}
+
+// Index is the full common interface of the module's index structures:
+// Seg-Tree, Seg-Trie, optimized Seg-Trie, baseline B+-Tree, and the
+// Sharded wrapper over any of them.
+type Index[K keys.Key, V any] interface {
+	Basic[K, V]
+	Batcher[K, V]
+
+	// Contains reports whether key is present.
+	Contains(K) bool
+	// Min returns the smallest key and its value; ok is false when empty.
+	Min() (K, V, bool)
+	// Max returns the largest key and its value; ok is false when empty.
+	Max() (K, V, bool)
+	// Scan calls fn for every item with lo ≤ key ≤ hi in ascending key
+	// order until fn returns false.
+	Scan(lo, hi K, fn func(K, V) bool)
+	// Ascend calls fn for every item in ascending key order until fn
+	// returns false.
+	Ascend(fn func(K, V) bool)
+	// IndexStats summarizes shape and memory in structure-independent
+	// terms. The structures additionally expose richer per-package Stats.
+	IndexStats() Stats
+}
+
+// Stats is the structure-independent summary every Index reports. The
+// memory accounting follows the paper (§5.1): key slots cost the key
+// width (one byte for trie partial keys), pointers eight bytes.
+type Stats struct {
+	// Keys is the number of stored items.
+	Keys int
+	// Height is the maximum number of node searches a lookup performs
+	// (B+-Tree height, or trie levels actually traversed).
+	Height int
+	// Nodes is the total node count.
+	Nodes int
+	// MemoryBytes is the total footprint: keys plus pointers.
+	MemoryBytes int64
+	// KeyMemoryBytes counts key storage only — the basis of the paper's
+	// 8× memory-reduction claim for the Seg-Trie.
+	KeyMemoryBytes int64
+}
+
+// Add accumulates o into s, taking the maximum height — the aggregation
+// the Sharded index uses across its shards.
+func (s *Stats) Add(o Stats) {
+	s.Keys += o.Keys
+	if o.Height > s.Height {
+		s.Height = o.Height
+	}
+	s.Nodes += o.Nodes
+	s.MemoryBytes += o.MemoryBytes
+	s.KeyMemoryBytes += o.KeyMemoryBytes
+}

@@ -1,0 +1,243 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/keys"
+)
+
+// Sharded key-range-partitions any Index across a fixed number of shards,
+// each guarded by its own readers-writer lock. Writes to different key
+// ranges proceed in parallel, which is what the single global lock of
+// concurrent.Locked cannot do — Sharded is the module's scalable
+// concurrent write path.
+//
+// The partition is by key range, not by hash: shard boundaries follow the
+// order-preserving bit pattern of the key (keys.OrderedBits), so shard 0
+// holds the smallest keys and shard N−1 the largest. Ordered operations
+// (Min, Max, Ascend, Scan) therefore visit shards in key order and stay
+// ordered overall. Sharded itself satisfies Index.
+type Sharded[K keys.Key, V any] struct {
+	shards []shard[K, V]
+	// Routing: the top (up to) 32 bits of OrderedBits, scaled by the
+	// shard count. left/right pre-resolve the key-width-dependent shift.
+	right uint
+	left  uint
+}
+
+type shard[K keys.Key, V any] struct {
+	mu sync.RWMutex
+	ix Index[K, V]
+}
+
+// NewSharded partitions shardCount indexes built by newIndex. Each shard
+// must start empty; the caller must not use the built indexes directly.
+// It panics when shardCount < 1.
+func NewSharded[K keys.Key, V any](shardCount int, newIndex func() Index[K, V]) *Sharded[K, V] {
+	if shardCount < 1 {
+		panic(fmt.Sprintf("index: shard count %d < 1", shardCount))
+	}
+	s := &Sharded[K, V]{shards: make([]shard[K, V], shardCount)}
+	bits := uint(8 * keys.Width[K]())
+	if bits >= 32 {
+		s.right = bits - 32
+	} else {
+		s.left = 32 - bits
+	}
+	for i := range s.shards {
+		s.shards[i].ix = newIndex()
+	}
+	return s
+}
+
+// Shards reports the shard count.
+func (s *Sharded[K, V]) Shards() int { return len(s.shards) }
+
+// shardOf routes a key to its shard: the top 32 bits of the
+// order-preserving key pattern scaled into [0, len(shards)). Monotone in
+// key order, so shard ranges partition the key space into ordered slabs.
+func (s *Sharded[K, V]) shardOf(key K) int {
+	t := keys.OrderedBits(key) >> s.right << s.left
+	return int(t * uint64(len(s.shards)) >> 32)
+}
+
+// Get returns the value stored under key, if present.
+func (s *Sharded[K, V]) Get(key K) (V, bool) {
+	sh := &s.shards[s.shardOf(key)]
+	sh.mu.RLock()
+	v, ok := sh.ix.Get(key)
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Contains reports whether key is present.
+func (s *Sharded[K, V]) Contains(key K) bool {
+	sh := &s.shards[s.shardOf(key)]
+	sh.mu.RLock()
+	ok := sh.ix.Contains(key)
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Put stores val under key, returning true when the key was new. Only the
+// owning shard is write-locked.
+func (s *Sharded[K, V]) Put(key K, val V) bool {
+	sh := &s.shards[s.shardOf(key)]
+	sh.mu.Lock()
+	added := sh.ix.Put(key, val)
+	sh.mu.Unlock()
+	return added
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Sharded[K, V]) Delete(key K) bool {
+	sh := &s.shards[s.shardOf(key)]
+	sh.mu.Lock()
+	removed := sh.ix.Delete(key)
+	sh.mu.Unlock()
+	return removed
+}
+
+// Len reports the number of items across all shards. The count is a sum
+// of per-shard snapshots, exact only when no writer runs concurrently.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.ix.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Min returns the smallest key and its value; ok is false when empty.
+// Shards hold ascending key ranges, so the first non-empty shard wins.
+func (s *Sharded[K, V]) Min() (k K, v V, ok bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		k, v, ok = sh.ix.Min()
+		sh.mu.RUnlock()
+		if ok {
+			return k, v, true
+		}
+	}
+	return k, v, false
+}
+
+// Max returns the largest key and its value; ok is false when empty.
+func (s *Sharded[K, V]) Max() (k K, v V, ok bool) {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		k, v, ok = sh.ix.Max()
+		sh.mu.RUnlock()
+		if ok {
+			return k, v, true
+		}
+	}
+	return k, v, false
+}
+
+// Ascend calls fn for every item in ascending key order until fn returns
+// false. fn runs with the current shard's read lock held and must not
+// mutate the index.
+func (s *Sharded[K, V]) Ascend(fn func(K, V) bool) {
+	stopped := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sh.ix.Ascend(func(k K, v V) bool {
+			if !fn(k, v) {
+				stopped = true
+			}
+			return !stopped
+		})
+		sh.mu.RUnlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// Scan calls fn for every item with lo ≤ key ≤ hi in ascending key order
+// until fn returns false, visiting only the shards whose range intersects
+// [lo, hi]. fn runs with the current shard's read lock held and must not
+// mutate the index.
+func (s *Sharded[K, V]) Scan(lo, hi K, fn func(K, V) bool) {
+	if lo > hi {
+		return
+	}
+	stopped := false
+	for i := s.shardOf(lo); i <= s.shardOf(hi); i++ {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sh.ix.Scan(lo, hi, func(k K, v V) bool {
+			if !fn(k, v) {
+				stopped = true
+			}
+			return !stopped
+		})
+		sh.mu.RUnlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// GetBatch looks up many keys at once: probes are bucketed per shard, and
+// each involved shard is read-locked exactly once for one level-wise
+// batch descent of its underlying index. Results are in input order.
+func (s *Sharded[K, V]) GetBatch(ks []K) ([]V, []bool) {
+	n := len(ks)
+	vals := make([]V, n)
+	found := make([]bool, n)
+	if n == 0 {
+		return vals, found
+	}
+	buckets := make([][]int32, len(s.shards))
+	for i, k := range ks {
+		sh := s.shardOf(k)
+		buckets[sh] = append(buckets[sh], int32(i))
+	}
+	sub := make([]K, 0, n)
+	for si, idxs := range buckets {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub = sub[:0]
+		for _, i := range idxs {
+			sub = append(sub, ks[i])
+		}
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		sv, sf := sh.ix.GetBatch(sub)
+		sh.mu.RUnlock()
+		for j, i := range idxs {
+			vals[i] = sv[j]
+			found[i] = sf[j]
+		}
+	}
+	return vals, found
+}
+
+// ContainsBatch reports presence for many keys at once, in input order.
+func (s *Sharded[K, V]) ContainsBatch(ks []K) []bool {
+	_, found := s.GetBatch(ks)
+	return found
+}
+
+// IndexStats aggregates the per-shard summaries: counts and bytes sum,
+// height is the deepest shard.
+func (s *Sharded[K, V]) IndexStats() Stats {
+	var st Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Add(sh.ix.IndexStats())
+		sh.mu.RUnlock()
+	}
+	return st
+}
