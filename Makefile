@@ -4,6 +4,8 @@
 #   make test    - plain test run (tier-1 gate)
 #   make bench   - segbench, all experiments, JSON to BENCH_segbench.json
 #   make fuzz    - 5 s smoke run of every fuzz target
+#   make fmt     - fail if any file is not gofmt-clean
+#   make serve   - run the observability HTTP server (cmd/segserve)
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -17,12 +19,18 @@ FUZZ_TARGETS = \
 	./internal/segtrie:FuzzTrieOps \
 	./internal/simd:FuzzCompareKernels
 
-.PHONY: check vet build test race fuzz bench clean
+SERVE_ARGS ?= -structure opt-segtrie -shards 16 -preload 100000
 
-check: vet build race fuzz
+.PHONY: check vet fmt build test race fuzz bench serve clean
+
+check: vet fmt build race fuzz
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -42,6 +50,9 @@ fuzz:
 
 bench:
 	$(GO) run ./cmd/segbench -json BENCH_segbench.json
+
+serve:
+	$(GO) run ./cmd/segserve $(SERVE_ARGS)
 
 clean:
 	rm -f BENCH_*.json

@@ -29,11 +29,15 @@ func main() {
 	fig11Keys := flag.Int("fig11keys", 20000000, "maximum keys per depth step in Figure 11")
 	memKeys := flag.Int("memkeys", 1638400, "consecutive keys for the memory experiment (paper: ~1.6 M)")
 	jsonPath := flag.String("json", "", "also write all measurements to this file as a JSON array")
+	metrics := flag.Bool("metrics", false,
+		"record per-search cost-model counters (SIMD comparisons, node visits, ...) into the -json output via an extra untimed probe pass per structure")
 	flag.Parse()
 
-	o := bench.Options{Probes: *probes, Rounds: *rounds, Seed: *seed}
+	o := bench.Options{Probes: *probes, Rounds: *rounds, Seed: *seed, Metrics: *metrics}
 	if *jsonPath != "" {
 		o.Rec = &bench.Recorder{}
+	} else if *metrics {
+		fmt.Fprintln(os.Stderr, "segbench: -metrics has no effect without -json (counters are recorded, not tabulated)")
 	}
 
 	run := func(name, title, body string) {

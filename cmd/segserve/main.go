@@ -1,0 +1,183 @@
+// Command segserve exposes one index structure over HTTP together with
+// its full observability surface: per-operation latency histograms and
+// the paper's cost-model counters (SIMD comparisons, node visits, ...)
+// as Prometheus text metrics, expvar JSON and Go's pprof profiles.
+//
+//	segserve -structure opt-segtrie -shards 16 -preload 100000
+//
+//	curl 'localhost:8080/put?key=42&value=answer'
+//	curl 'localhost:8080/get?key=42'
+//	curl 'localhost:8080/getbatch?keys=1,2,42'
+//	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'      # Prometheus text format 0.0.4
+//	curl 'localhost:8080/debug/vars'   # expvar JSON
+//
+// Keys are uint64, values are strings. The index is wrapped in
+// InstrumentedIndex (histograms + counters) and, with -shards >= 2, a
+// ShardedIndex, so concurrent requests are safe.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	simdtree "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	structure := flag.String("structure", "segtree",
+		"index structure: segtree, segtrie, opt-segtrie, btree")
+	shards := flag.Int("shards", 16, "key-range shards (>= 2; 1 disables sharding)")
+	preload := flag.Int("preload", 0, "preload this many consecutive keys before serving")
+	flag.Parse()
+
+	ix, err := newServer(*structure, *shards, *preload)
+	if err != nil {
+		log.Fatalf("segserve: %v", err)
+	}
+	log.Printf("segserve: %s with %d shards on %s (%d keys preloaded)",
+		*structure, *shards, *addr, *preload)
+	log.Fatal(http.ListenAndServe(*addr, ix.mux()))
+}
+
+// server owns the instrumented index and its HTTP handlers. It is split
+// from main so tests can drive the mux through httptest.
+type server struct {
+	ix *simdtree.InstrumentedIndex[uint64, string]
+}
+
+var structures = map[string]simdtree.Structure{
+	"segtree":     simdtree.StructureSegTree,
+	"segtrie":     simdtree.StructureSegTrie,
+	"opt-segtrie": simdtree.StructureOptimizedSegTrie,
+	"btree":       simdtree.StructureBPlusTree,
+}
+
+func newServer(structure string, shards, preload int) (*server, error) {
+	s, ok := structures[structure]
+	if !ok {
+		return nil, fmt.Errorf("unknown structure %q (want segtree, segtrie, opt-segtrie or btree)", structure)
+	}
+	ix := simdtree.NewInstrumentedIndex[uint64, string](
+		simdtree.WithStructure(s), simdtree.WithShards(shards))
+	for i := 0; i < preload; i++ {
+		ix.Put(uint64(i), strconv.Itoa(i))
+	}
+	srv := &server{ix: ix}
+	srv.ix.PublishExpvar("segserve")
+	return srv, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/get", s.handleGet)
+	mux.HandleFunc("/put", s.handlePut)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/getbatch", s.handleGetBatch)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// expvar and pprof register on http.DefaultServeMux; re-expose them on
+	// our own mux so segserve works with a custom one.
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func keyParam(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	k, err := strconv.ParseUint(r.URL.Query().Get("key"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad or missing key parameter: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return k, true
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	v, found := s.ix.Get(k)
+	if !found {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	fmt.Fprintln(w, v)
+}
+
+func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	s.ix.Put(k, r.URL.Query().Get("value"))
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	if !s.ix.Delete(k) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(r.URL.Query().Get("keys"), ",")
+	ks := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		k, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			http.Error(w, "bad keys parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ks = append(ks, k)
+	}
+	vs, found := s.ix.GetBatch(ks)
+	for i, k := range ks {
+		if found[i] {
+			fmt.Fprintf(w, "%d %s\n", k, vs[i])
+		} else {
+			fmt.Fprintf(w, "%d MISSING\n", k)
+		}
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.ix.Snapshot()
+	st := snap.Stats
+	fmt.Fprintf(w, "keys %d\nheight %d\nnodes %d\nmemory_bytes %d\nkey_memory_bytes %d\n",
+		st.Keys, st.Height, st.Nodes, st.MemoryBytes, st.KeyMemoryBytes)
+	c := snap.Counters
+	fmt.Fprintf(w, "simd_comparisons %d\nmask_evaluations %d\nnode_visits %d\nlevels_descended %d\nscalar_comparisons %d\n",
+		c.SIMDComparisons, c.MaskEvaluations, c.NodeVisits, c.LevelsDescended, c.ScalarComparisons)
+	for _, op := range snap.Ops {
+		if op.Histogram.Count > 0 {
+			fmt.Fprintf(w, "op_%s_count %d\nop_%s_mean_ns %d\n",
+				op.Op, op.Histogram.Count, op.Op, op.Histogram.Mean().Nanoseconds())
+		}
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.ix.WritePrometheus(w, "segserve")
+}

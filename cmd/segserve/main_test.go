@@ -1,0 +1,124 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer("opt-segtrie", 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	if code, body := get(t, ts.URL+"/get?key=42"); code != 200 || strings.TrimSpace(body) != "42" {
+		t.Errorf("/get preloaded = %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/get?key=12345"); code != 404 {
+		t.Errorf("/get missing = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/get?key=notanumber"); code != 400 {
+		t.Errorf("/get bad key = %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/put?key=500&value=hello"); code != 200 {
+		t.Errorf("/put = %d", code)
+	}
+	if code, body := get(t, ts.URL+"/get?key=500"); code != 200 || strings.TrimSpace(body) != "hello" {
+		t.Errorf("/get after put = %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/delete?key=500"); code != 200 {
+		t.Errorf("/delete = %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/get?key=500"); code != 404 {
+		t.Errorf("/get after delete = %d, want 404", code)
+	}
+	code, body := get(t, ts.URL+"/getbatch?keys=1,2,99999")
+	if code != 200 {
+		t.Fatalf("/getbatch = %d", code)
+	}
+	for _, want := range []string{"1 1", "2 2", "99999 MISSING"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/getbatch body %q missing %q", body, want)
+		}
+	}
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestServerStatsAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 10; i++ {
+		get(t, ts.URL+"/get?key=7")
+	}
+
+	code, body := get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("/stats = %d", code)
+	}
+	if !strings.Contains(body, "keys 100") {
+		t.Errorf("/stats missing key count:\n%s", body)
+	}
+	if !strings.Contains(body, "op_get_count 10") {
+		t.Errorf("/stats missing get op count:\n%s", body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	metrics := string(b)
+	for _, want := range []string{
+		"# TYPE segserve_op_latency_seconds histogram",
+		`segserve_op_latency_seconds_count{op="get"} 10`,
+		"# TYPE segserve_simd_comparisons_total counter",
+		"segserve_keys 100",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if code, body := get(t, ts.URL+"/debug/vars"); code != 200 || !strings.Contains(body, "segserve") {
+		t.Errorf("/debug/vars = %d, contains segserve = %v", code, strings.Contains(body, "segserve"))
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestNewServerRejectsUnknownStructure(t *testing.T) {
+	if _, err := newServer("skiplist", 1, 0); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+}

@@ -45,10 +45,22 @@ func NewShardedIndex[K Key, V any](shardCount int, newIndex func() Index[K, V]) 
 type ZhouRossList[K Key] = zhouross.List[K]
 
 // NewZhouRossList builds a Zhou-Ross searchable list from strictly
-// ascending keys; it panics on unsorted input.
+// ascending keys; it panics on unsorted input. NewZhouRossListChecked is
+// the error-returning form.
 func NewZhouRossList[K Key](sorted []K) *ZhouRossList[K] {
 	return zhouross.New(sorted)
 }
+
+// NewZhouRossListChecked builds a Zhou-Ross searchable list, returning an
+// error wrapping ErrUnsorted instead of panicking on unsorted input.
+func NewZhouRossListChecked[K Key](sorted []K) (*ZhouRossList[K], error) {
+	return zhouross.NewChecked(sorted)
+}
+
+// ErrUnsorted reports construction input whose keys are not strictly
+// ascending. The Checked constructors wrap it with position context;
+// match with errors.Is.
+var ErrUnsorted = keys.ErrUnsorted
 
 // Map is the common mutable interface of every index in this module.
 type Map[K Key, V any] = concurrent.Map[K, V]

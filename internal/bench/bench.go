@@ -22,6 +22,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/kary"
 	"repro/internal/keys"
+	"repro/internal/obs"
 	"repro/internal/segtree"
 	"repro/internal/segtrie"
 	"repro/internal/workload"
@@ -84,6 +85,23 @@ func (w *Workbench[K]) Run() float64 {
 	elapsed := time.Since(start)
 	Sink += hits
 	return float64(elapsed.Nanoseconds()) / float64(len(w.Probes))
+}
+
+// RunCounted runs one untimed probe pass with the cost-model counters
+// enabled and returns the totals. Counted passes are kept separate from
+// timed ones so the hooks' (small) cost never contaminates ns/op figures.
+func (w *Workbench[K]) RunCounted() obs.CounterSnapshot {
+	var c obs.Counters
+	prev := obs.Enable(&c)
+	defer obs.Enable(prev)
+	hits := 0
+	for i, p := range w.Probes {
+		if w.Trees[w.TreePick[i]].Contains(p) {
+			hits++
+		}
+	}
+	Sink += hits
+	return c.Read()
 }
 
 // RunBest runs the probe pass `rounds` times and returns the fastest

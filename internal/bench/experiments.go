@@ -13,6 +13,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/kary"
 	"repro/internal/keys"
+	"repro/internal/obs"
 	"repro/internal/segtree"
 	"repro/internal/segtrie"
 	"repro/internal/workload"
@@ -30,6 +31,55 @@ type Options struct {
 	// Rec, when non-nil, collects every measurement in machine-readable
 	// form alongside the formatted tables.
 	Rec *Recorder
+	// Metrics adds, per measured structure, one untimed probe pass with
+	// the cost-model counters enabled and records the per-search SIMD
+	// comparison / node visit / level figures into Rec. Timed passes are
+	// unaffected.
+	Metrics bool
+}
+
+// recordCounters runs one counted probe pass over wb and records the
+// per-search cost-model figures next to the timing measurement with the
+// same experiment/structure/class key. No-op unless o.Metrics is set.
+func recordCounters[K keys.Key](o Options, wb *Workbench[K], experiment, structure, class string) {
+	if !o.Metrics {
+		return
+	}
+	recordSnapshot(o, wb.RunCounted(), len(wb.Probes), experiment, structure, class)
+}
+
+// recordSnapshot records counter totals as per-search averages.
+func recordSnapshot(o Options, s obs.CounterSnapshot, probes int, experiment, structure, class string) {
+	n := float64(probes)
+	for _, m := range []struct {
+		metric string
+		total  uint64
+	}{
+		{"simd-comparisons", s.SIMDComparisons},
+		{"mask-evaluations", s.MaskEvaluations},
+		{"node-visits", s.NodeVisits},
+		{"levels-descended", s.LevelsDescended},
+		{"scalar-comparisons", s.ScalarComparisons},
+	} {
+		o.Rec.Record(Measurement{Experiment: experiment, Structure: structure,
+			Class: class, Metric: m.metric, Value: float64(m.total) / n, Unit: "per-search"})
+	}
+}
+
+// countedProbePass runs probes against s once with the cost-model
+// counters enabled and returns the totals.
+func countedProbePass[K keys.Key](probes []K, s Searcher[K]) obs.CounterSnapshot {
+	var c obs.Counters
+	prev := obs.Enable(&c)
+	defer obs.Enable(prev)
+	hits := 0
+	for _, p := range probes {
+		if s.Contains(p) {
+			hits++
+		}
+	}
+	Sink += hits
+	return c.Read()
 }
 
 // DefaultOptions mirrors the paper's protocol.
@@ -94,6 +144,7 @@ func Figure9(o Options) string {
 			ns := wb.RunBest(o.Rounds)
 			o.Rec.Record(Measurement{Experiment: "fig9", Structure: ev.String(),
 				Class: class.String(), Metric: "search", Value: ns, Unit: "ns/op"})
+			recordCounters(o, wb, "fig9", ev.String(), class.String())
 			row = append(row, Ns(ns))
 		}
 		rows = append(rows, row)
@@ -108,17 +159,23 @@ func Figure9(o Options) string {
 func figure10Row[K keys.Key](name string, o Options) []string {
 	out := []string{}
 	for _, class := range workload.Classes {
-		bin := NewWorkbench[K](class, o.Probes, o.Seed, BTreeBuilder[K]()).RunBest(o.Rounds)
-		bf := NewWorkbench[K](class, o.Probes, o.Seed,
-			SegTreeBuilder[K](kary.BreadthFirst, bitmask.Popcount)).RunBest(o.Rounds)
-		df := NewWorkbench[K](class, o.Probes, o.Seed,
-			SegTreeBuilder[K](kary.DepthFirst, bitmask.Popcount)).RunBest(o.Rounds)
+		binWB := NewWorkbench[K](class, o.Probes, o.Seed, BTreeBuilder[K]())
+		bfWB := NewWorkbench[K](class, o.Probes, o.Seed,
+			SegTreeBuilder[K](kary.BreadthFirst, bitmask.Popcount))
+		dfWB := NewWorkbench[K](class, o.Probes, o.Seed,
+			SegTreeBuilder[K](kary.DepthFirst, bitmask.Popcount))
+		bin := binWB.RunBest(o.Rounds)
+		bf := bfWB.RunBest(o.Rounds)
+		df := dfWB.RunBest(o.Rounds)
 		for s, ns := range map[string]float64{
 			name + "/btree-binary": bin, name + "/segtree-bf": bf, name + "/segtree-df": df,
 		} {
 			o.Rec.Record(Measurement{Experiment: "fig10", Structure: s,
 				Class: class.String(), Metric: "search", Value: ns, Unit: "ns/op"})
 		}
+		recordCounters(o, binWB, "fig10", name+"/btree-binary", class.String())
+		recordCounters(o, bfWB, "fig10", name+"/segtree-bf", class.String())
+		recordCounters(o, dfWB, "fig10", name+"/segtree-df", class.String())
 		out = append(out,
 			fmt.Sprintf("%s | bin %s  bf %s (%s)  df %s (%s)",
 				class, Ns(bin), Ns(bf), Speedup(bin, bf), Ns(df), Speedup(bin, df)))
@@ -205,9 +262,20 @@ func figure11Row(o Options, depth, n, caps int) []string {
 		return best
 	}
 
+	// counted mirrors recordCounters for the flat structure list here: one
+	// untimed probe pass per structure with the counters enabled.
+	counted := func(structure string, s Searcher[uint64]) {
+		if !o.Metrics {
+			return
+		}
+		recordSnapshot(o, countedProbePass(probes, s), len(probes),
+			"fig11", structure, fmt.Sprintf("depth=%d", depth))
+	}
+
 	vs := make([]uint64, len(ks))
 	bcfg := btree.Config{LeafCap: caps, BranchCap: caps}
-	base := measure(btree.BulkLoad[uint64, uint64](bcfg, ks, vs))
+	baseTree := btree.BulkLoad[uint64, uint64](bcfg, ks, vs)
+	base := measure(baseTree)
 	scfg := segtree.DefaultConfig[uint64]()
 	scfg.LeafCap, scfg.BranchCap = caps, caps
 	scfg.Layout = kary.BreadthFirst
@@ -220,6 +288,11 @@ func figure11Row(o Options, depth, n, caps int) []string {
 		trie.Put(k, uint64(i))
 		opt.Put(k, uint64(i))
 	}
+	counted("btree", baseTree)
+	counted("segtree-bf", segBF)
+	counted("segtree-df", segDF)
+	counted("segtrie", trie)
+	counted("opt-segtrie", opt)
 	return []string{
 		fmt.Sprint(depth),
 		fmt.Sprint(n),
@@ -390,6 +463,10 @@ func batchOver(o Options, classes []workload.Class) string {
 				Class: class.String(), Metric: "get-serial", Value: serial, Unit: "ns/op"})
 			o.Rec.Record(Measurement{Experiment: "batch", Structure: tg.name,
 				Class: class.String(), Metric: "get-batch-levelwise", Value: batched, Unit: "ns/op"})
+			if o.Metrics {
+				recordSnapshot(o, countedProbePass[uint64](probes, tg.ix), len(probes),
+					"batch", tg.name, class.String())
+			}
 			rows = append(rows, []string{class.String(), tg.name,
 				Ns(serial), Ns(batched), Speedup(serial, batched)})
 		}

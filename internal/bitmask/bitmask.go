@@ -10,7 +10,11 @@
 // "no key is greater".
 package bitmask
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/obs"
+)
 
 // Evaluator selects one of the paper's three mask-evaluation algorithms.
 type Evaluator uint8
@@ -49,6 +53,7 @@ var Evaluators = []Evaluator{BitShift, SwitchCase, Popcount}
 // Evaluate returns the position of the first greater key encoded in mask
 // for lane byte width width, using the selected algorithm.
 func (e Evaluator) Evaluate(mask uint16, width int) int {
+	obs.MaskEvals(1)
 	switch e {
 	case BitShift:
 		return BitShiftEval(mask, width)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/kary"
 	"repro/internal/keys"
+	"repro/internal/obs"
 )
 
 // Config sizes the tree nodes. The paper derives the per-data-type key
@@ -75,13 +76,24 @@ type node[K keys.Key, V any] struct {
 func (n *node[K, V]) leaf() bool { return n.children == nil }
 
 // New returns an empty tree with the given configuration. It panics on an
-// invalid configuration (capacities below 2).
+// invalid configuration (capacities below 2); NewChecked is the
+// error-returning form.
 func New[K keys.Key, V any](cfg Config) *Tree[K, V] {
+	t, err := NewChecked[K, V](cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// NewChecked is New propagating an invalid configuration as an error
+// instead of panicking.
+func NewChecked[K keys.Key, V any](cfg Config) (*Tree[K, V], error) {
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	leaf := &node[K, V]{}
-	return &Tree[K, V]{cfg: cfg, root: leaf, first: leaf}
+	return &Tree[K, V]{cfg: cfg, root: leaf, first: leaf}, nil
 }
 
 // NewDefault returns an empty tree with DefaultConfig.
@@ -108,8 +120,10 @@ func (t *Tree[K, V]) Height() int {
 func (t *Tree[K, V]) Get(key K) (v V, ok bool) {
 	n := t.root
 	for !n.leaf() {
+		obs.NodeVisits(1)
 		n = n.children[kary.UpperBound(n.keys, key)]
 	}
+	obs.NodeVisits(1)
 	i := kary.UpperBound(n.keys, key)
 	if i > 0 && n.keys[i-1] == key {
 		return n.vals[i-1], true

@@ -75,6 +75,18 @@ func makers() []maker {
 		maker{"sharded/segtrie", sharded(newTrie(kary.BreadthFirst, pc))},
 		maker{"sharded/opt-segtrie", sharded(newOpt(kary.BreadthFirst, pc))},
 	)
+	instrumented := func(inner func() index.Index[uint32, int], counters bool) func() index.Index[uint32, int] {
+		return func() index.Index[uint32, int] {
+			return index.NewInstrumented(inner(), counters)
+		}
+	}
+	ms = append(ms,
+		maker{"instrumented/segtree", instrumented(newSegTree(df, pc), false)},
+		maker{"instrumented/btree", instrumented(newBTree, false)},
+		maker{"instrumented+counters/segtrie", instrumented(newTrie(kary.BreadthFirst, pc), true)},
+		maker{"instrumented+counters/opt-segtrie", instrumented(newOpt(kary.BreadthFirst, pc), true)},
+		maker{"instrumented/sharded/segtree", instrumented(sharded(newSegTree(df, pc)), true)},
+	)
 	return ms
 }
 

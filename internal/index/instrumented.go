@@ -1,0 +1,297 @@
+package index
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/obs"
+)
+
+// Op identifies one timed operation class of an Instrumented index.
+type Op int
+
+const (
+	OpGet Op = iota
+	OpContains
+	OpPut
+	OpDelete
+	OpGetBatch
+	OpContainsBatch
+	OpScan
+	opCount
+)
+
+// String returns the Prometheus label value for the op.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpContains:
+		return "contains"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpGetBatch:
+		return "get_batch"
+	case OpContainsBatch:
+		return "contains_batch"
+	case OpScan:
+		return "scan"
+	default:
+		return "unknown"
+	}
+}
+
+// Ops lists every timed operation class, in label order.
+var Ops = [opCount]Op{OpGet, OpContains, OpPut, OpDelete, OpGetBatch, OpContainsBatch, OpScan}
+
+// Instrumented wraps any Index with per-operation latency histograms and
+// an optional obs.Counters capturing the paper's cost-model quantities
+// (SIMD comparisons, node visits, ...) for the operations it serves.
+//
+// Instrumentation can be toggled at runtime: while disabled (the initial
+// state unless constructed otherwise), every operation delegates with a
+// single atomic flag check of overhead. Min/Max/Ascend/Len pass through
+// untimed — they are iteration, not lookup, and would only blur the
+// histograms.
+//
+// The wrapper is as concurrency-safe as the wrapped index: the histograms
+// and counters themselves are lock-free.
+type Instrumented[K keys.Key, V any] struct {
+	inner   Index[K, V]
+	on      atomic.Bool
+	hists   [opCount]obs.Histogram
+	counter *obs.Counters // nil when per-index counters are not attached
+}
+
+// NewInstrumented wraps inner. withCounters additionally attaches a
+// dedicated obs.Counters that is enabled process-wide for the duration of
+// every timed operation (saving and restoring any previously enabled
+// counters), so the wrapper's Snapshot carries comparison and node counts
+// alongside latencies. Because the obs hook destination is process-global,
+// attaching counters to several concurrently-operated indexes interleaves
+// their attribution; latency histograms are always exact.
+func NewInstrumented[K keys.Key, V any](inner Index[K, V], withCounters bool) *Instrumented[K, V] {
+	ix := &Instrumented[K, V]{inner: inner}
+	if withCounters {
+		ix.counter = &obs.Counters{}
+	}
+	ix.on.Store(true)
+	return ix
+}
+
+// Compile-time check: Instrumented satisfies the full Index interface.
+var _ Index[uint32, int] = (*Instrumented[uint32, int])(nil)
+
+// Unwrap returns the wrapped index.
+func (ix *Instrumented[K, V]) Unwrap() Index[K, V] { return ix.inner }
+
+// SetEnabled turns instrumentation on or off; disabled operations
+// delegate directly. It returns the previous state.
+func (ix *Instrumented[K, V]) SetEnabled(on bool) bool { return ix.on.Swap(on) }
+
+// Enabled reports whether operations are currently being recorded.
+func (ix *Instrumented[K, V]) Enabled() bool { return ix.on.Load() }
+
+// Counters returns the attached per-index counters, or nil.
+func (ix *Instrumented[K, V]) Counters() *obs.Counters { return ix.counter }
+
+// Histogram returns a snapshot of one operation's latency histogram.
+func (ix *Instrumented[K, V]) Histogram(op Op) obs.HistogramSnapshot {
+	return ix.hists[op].Read()
+}
+
+// begin starts timing one operation; it returns the start time and, when
+// per-index counters are attached, enables them (remembering what to
+// restore). end completes the measurement.
+func (ix *Instrumented[K, V]) begin() (time.Time, *obs.Counters) {
+	var prev *obs.Counters
+	if ix.counter != nil {
+		prev = obs.Enable(ix.counter)
+	}
+	return time.Now(), prev
+}
+
+func (ix *Instrumented[K, V]) end(op Op, start time.Time, prev *obs.Counters) {
+	ix.hists[op].Observe(time.Since(start))
+	if ix.counter != nil {
+		obs.Enable(prev)
+	}
+}
+
+// Get implements Index.
+func (ix *Instrumented[K, V]) Get(k K) (V, bool) {
+	if !ix.on.Load() {
+		return ix.inner.Get(k)
+	}
+	start, prev := ix.begin()
+	v, ok := ix.inner.Get(k)
+	ix.end(OpGet, start, prev)
+	return v, ok
+}
+
+// Contains implements Index.
+func (ix *Instrumented[K, V]) Contains(k K) bool {
+	if !ix.on.Load() {
+		return ix.inner.Contains(k)
+	}
+	start, prev := ix.begin()
+	ok := ix.inner.Contains(k)
+	ix.end(OpContains, start, prev)
+	return ok
+}
+
+// Put implements Index.
+func (ix *Instrumented[K, V]) Put(k K, v V) bool {
+	if !ix.on.Load() {
+		return ix.inner.Put(k, v)
+	}
+	start, prev := ix.begin()
+	fresh := ix.inner.Put(k, v)
+	ix.end(OpPut, start, prev)
+	return fresh
+}
+
+// Delete implements Index.
+func (ix *Instrumented[K, V]) Delete(k K) bool {
+	if !ix.on.Load() {
+		return ix.inner.Delete(k)
+	}
+	start, prev := ix.begin()
+	ok := ix.inner.Delete(k)
+	ix.end(OpDelete, start, prev)
+	return ok
+}
+
+// GetBatch implements Index; the whole batch is one observation.
+func (ix *Instrumented[K, V]) GetBatch(ks []K) ([]V, []bool) {
+	if !ix.on.Load() {
+		return ix.inner.GetBatch(ks)
+	}
+	start, prev := ix.begin()
+	vs, oks := ix.inner.GetBatch(ks)
+	ix.end(OpGetBatch, start, prev)
+	return vs, oks
+}
+
+// ContainsBatch implements Index; the whole batch is one observation.
+func (ix *Instrumented[K, V]) ContainsBatch(ks []K) []bool {
+	if !ix.on.Load() {
+		return ix.inner.ContainsBatch(ks)
+	}
+	start, prev := ix.begin()
+	oks := ix.inner.ContainsBatch(ks)
+	ix.end(OpContainsBatch, start, prev)
+	return oks
+}
+
+// Scan implements Index; one call is one observation regardless of the
+// number of items visited.
+func (ix *Instrumented[K, V]) Scan(lo, hi K, fn func(K, V) bool) {
+	if !ix.on.Load() {
+		ix.inner.Scan(lo, hi, fn)
+		return
+	}
+	start, prev := ix.begin()
+	ix.inner.Scan(lo, hi, fn)
+	ix.end(OpScan, start, prev)
+}
+
+// Len implements Index (untimed).
+func (ix *Instrumented[K, V]) Len() int { return ix.inner.Len() }
+
+// Min implements Index (untimed).
+func (ix *Instrumented[K, V]) Min() (K, V, bool) { return ix.inner.Min() }
+
+// Max implements Index (untimed).
+func (ix *Instrumented[K, V]) Max() (K, V, bool) { return ix.inner.Max() }
+
+// Ascend implements Index (untimed).
+func (ix *Instrumented[K, V]) Ascend(fn func(K, V) bool) { ix.inner.Ascend(fn) }
+
+// IndexStats implements Index (untimed).
+func (ix *Instrumented[K, V]) IndexStats() Stats { return ix.inner.IndexStats() }
+
+// OpSnapshot is one operation's latency summary inside a Snapshot.
+type OpSnapshot struct {
+	Op        string                `json:"op"`
+	Histogram obs.HistogramSnapshot `json:"histogram"`
+}
+
+// Snapshot is a point-in-time view of everything an Instrumented index
+// records: per-op latency histograms, the attached cost-model counters
+// (zero-valued when none are attached) and the wrapped index's shape.
+type Snapshot struct {
+	Ops      []OpSnapshot        `json:"ops"`
+	Counters obs.CounterSnapshot `json:"counters"`
+	Stats    Stats               `json:"stats"`
+}
+
+// Snapshot captures the current state of all recorded metrics.
+func (ix *Instrumented[K, V]) Snapshot() Snapshot {
+	s := Snapshot{Stats: ix.inner.IndexStats()}
+	for _, op := range Ops {
+		s.Ops = append(s.Ops, OpSnapshot{Op: op.String(), Histogram: ix.hists[op].Read()})
+	}
+	if ix.counter != nil {
+		s.Counters = ix.counter.Read()
+	}
+	return s
+}
+
+// Reset zeroes every histogram and the attached counters.
+func (ix *Instrumented[K, V]) Reset() {
+	for i := range ix.hists {
+		ix.hists[i].Reset()
+	}
+	if ix.counter != nil {
+		ix.counter.Reset()
+	}
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format under the given metric-name prefix: one histogram per op as
+// <prefix>_op_latency_seconds{op=...}, the cost-model counters, and the
+// index shape as gauges.
+func (ix *Instrumented[K, V]) WritePrometheus(w io.Writer, prefix string) error {
+	snap := ix.Snapshot()
+	for _, op := range snap.Ops {
+		if err := op.Histogram.HistogramProm(w, prefix+"_op_latency_seconds",
+			fmt.Sprintf("op=%q", op.Op), "per-operation latency"); err != nil {
+			return err
+		}
+	}
+	if ix.counter != nil {
+		if err := snap.Counters.CounterProm(w, prefix); err != nil {
+			return err
+		}
+	}
+	type gauge struct {
+		name string
+		v    int64
+	}
+	for _, g := range []gauge{
+		{"keys", int64(snap.Stats.Keys)},
+		{"height", int64(snap.Stats.Height)},
+		{"nodes", int64(snap.Stats.Nodes)},
+		{"memory_bytes", snap.Stats.MemoryBytes},
+		{"key_memory_bytes", snap.Stats.KeyMemoryBytes},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %d\n",
+			prefix, g.name, prefix, g.name, g.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PublishExpvar exposes the snapshot under name in the process-wide
+// expvar registry (/debug/vars). Republishing the same name replaces the
+// callback.
+func (ix *Instrumented[K, V]) PublishExpvar(name string) {
+	obs.PublishExpvar(name, func() any { return ix.Snapshot() })
+}

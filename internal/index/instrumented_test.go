@@ -1,0 +1,143 @@
+package index_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitmask"
+	"repro/internal/index"
+	"repro/internal/kary"
+	"repro/internal/obs"
+	"repro/internal/segtree"
+	"repro/internal/segtrie"
+)
+
+func newSmallSegTree() index.Index[uint32, int] {
+	return segtree.New[uint32, int](segtree.Config{
+		LeafCap: 6, BranchCap: 6, Layout: kary.BreadthFirst, Evaluator: bitmask.Popcount,
+	})
+}
+
+func TestInstrumentedRecordsPerOp(t *testing.T) {
+	ix := index.NewInstrumented(newSmallSegTree(), false)
+	for i := uint32(0); i < 50; i++ {
+		ix.Put(i, int(i))
+	}
+	for i := uint32(0); i < 20; i++ {
+		ix.Get(i)
+	}
+	ix.Contains(3)
+	ix.Delete(7)
+	ix.GetBatch([]uint32{1, 2, 3})
+	ix.ContainsBatch([]uint32{4, 5})
+	ix.Scan(0, 10, func(uint32, int) bool { return true })
+
+	want := map[index.Op]uint64{
+		index.OpPut: 50, index.OpGet: 20, index.OpContains: 1,
+		index.OpDelete: 1, index.OpGetBatch: 1, index.OpContainsBatch: 1,
+		index.OpScan: 1,
+	}
+	for op, n := range want {
+		if got := ix.Histogram(op).Count; got != n {
+			t.Errorf("%v histogram count = %d, want %d", op, got, n)
+		}
+	}
+
+	snap := ix.Snapshot()
+	if len(snap.Ops) != len(index.Ops) {
+		t.Fatalf("Snapshot has %d ops, want %d", len(snap.Ops), len(index.Ops))
+	}
+	if snap.Stats.Keys != 49 { // 50 puts − 1 delete
+		t.Errorf("Snapshot stats keys = %d, want 49", snap.Stats.Keys)
+	}
+
+	ix.Reset()
+	if got := ix.Histogram(index.OpGet).Count; got != 0 {
+		t.Errorf("after Reset, get count = %d", got)
+	}
+}
+
+func TestInstrumentedDisabledDelegates(t *testing.T) {
+	ix := index.NewInstrumented(newSmallSegTree(), false)
+	if !ix.SetEnabled(false) {
+		t.Fatal("instrumentation should start enabled")
+	}
+	if ix.Enabled() {
+		t.Fatal("Enabled() after SetEnabled(false)")
+	}
+	ix.Put(1, 10)
+	if v, ok := ix.Get(1); !ok || v != 10 {
+		t.Fatalf("Get through disabled wrapper = %v,%v", v, ok)
+	}
+	for _, op := range index.Ops {
+		if n := ix.Histogram(op).Count; n != 0 {
+			t.Errorf("disabled wrapper recorded %d observations for %v", n, op)
+		}
+	}
+}
+
+func TestInstrumentedCounters(t *testing.T) {
+	// The per-index counters must capture the wrapped structure's SIMD
+	// work and restore any previously enabled global counters afterwards.
+	var outer obs.Counters
+	prev := obs.Enable(&outer)
+	defer obs.Enable(prev)
+
+	ix := index.NewInstrumented(
+		segtrie.New[uint64, int](segtrie.DefaultConfig()), true)
+	if ix.Counters() == nil {
+		t.Fatal("Counters() = nil for counter-attached wrapper")
+	}
+	for i := uint64(0); i < 32; i++ {
+		ix.Put(i, int(i))
+	}
+	before := ix.Counters().Read()
+	for i := uint64(0); i < 32; i++ {
+		if _, ok := ix.Get(i); !ok {
+			t.Fatalf("Get(%d) missed", i)
+		}
+	}
+	after := ix.Counters().Read()
+	if after.NodeVisits <= before.NodeVisits {
+		t.Errorf("Get did not raise NodeVisits: %d -> %d", before.NodeVisits, after.NodeVisits)
+	}
+	if obs.Active() != &outer {
+		t.Fatal("wrapper did not restore the previously enabled counters")
+	}
+	// The outer counters must not have absorbed the wrapper's operations.
+	if s := outer.Read(); s.NodeVisits != 0 {
+		t.Errorf("outer counters absorbed %d node visits", s.NodeVisits)
+	}
+}
+
+func TestInstrumentedUnwrap(t *testing.T) {
+	inner := newSmallSegTree()
+	ix := index.NewInstrumented(inner, false)
+	if ix.Unwrap() != inner {
+		t.Fatal("Unwrap did not return the wrapped index")
+	}
+}
+
+func TestInstrumentedWritePrometheus(t *testing.T) {
+	ix := index.NewInstrumented(newSmallSegTree(), true)
+	ix.Put(1, 10)
+	ix.Get(1)
+	var b strings.Builder
+	if err := ix.WritePrometheus(&b, "segidx"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE segidx_op_latency_seconds histogram",
+		`segidx_op_latency_seconds_count{op="get"} 1`,
+		`segidx_op_latency_seconds_count{op="put"} 1`,
+		`segidx_op_latency_seconds_bucket{op="get",le="+Inf"} 1`,
+		"# TYPE segidx_simd_comparisons_total counter",
+		"# TYPE segidx_keys gauge",
+		"segidx_keys 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q\n%s", want, out)
+		}
+	}
+}

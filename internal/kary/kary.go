@@ -109,14 +109,25 @@ func levels(n, k int) int {
 
 // Build linearizes a sorted list of distinct keys into a k-ary search tree
 // with the given layout. The input slice is not retained. Build panics if
-// the keys are not strictly ascending (tree nodes hold distinct keys).
+// the keys are not strictly ascending (tree nodes hold distinct keys);
+// BuildChecked is the error-returning form.
 func Build[K keys.Key](sorted []K, layout Layout) *Tree[K] {
+	t, err := BuildChecked(sorted, layout)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// BuildChecked is Build returning an error wrapping keys.ErrUnsorted
+// instead of panicking when the input is not strictly ascending.
+func BuildChecked[K keys.Key](sorted []K, layout Layout) (*Tree[K], error) {
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i-1] >= sorted[i] {
-			panic(fmt.Sprintf("kary: keys not strictly ascending at index %d", i))
+			return nil, fmt.Errorf("kary: %w at index %d", keys.ErrUnsorted, i)
 		}
 	}
-	return BuildUnchecked(sorted, layout)
+	return BuildUnchecked(sorted, layout), nil
 }
 
 // BuildUnchecked is Build without the sortedness check, for callers (the

@@ -3,6 +3,7 @@ package kary
 import (
 	"repro/internal/bitmask"
 	"repro/internal/keys"
+	"repro/internal/obs"
 	"repro/internal/simd"
 )
 
@@ -18,6 +19,7 @@ func (t *Tree[K]) Search(v K, ev bitmask.Evaluator) int {
 // SearchP is Search with a caller-prepared search register (see Prepare),
 // so one tree descent broadcasts the key only once.
 func (t *Tree[K]) SearchP(v K, search simd.Search, ev bitmask.Evaluator) int {
+	obs.NodeVisits(1)
 	if t.n == 0 {
 		return 0
 	}
@@ -27,6 +29,7 @@ func (t *Tree[K]) SearchP(v K, search simd.Search, ev bitmask.Evaluator) int {
 	if v >= t.smax {
 		return t.n
 	}
+	obs.LevelsDescended(t.r)
 	if t.layout == DepthFirst {
 		return t.searchDF(search, ev)
 	}
@@ -65,12 +68,19 @@ func (t *Tree[K]) searchBF(search simd.Search, ev bitmask.Evaluator) int {
 }
 
 // evaluate dispatches the bitmask evaluation with an inlined fast path for
-// the paper's preferred popcount algorithm.
+// the paper's preferred popcount algorithm. It dispatches to the leaf
+// algorithms directly rather than through Evaluator.Evaluate so the
+// per-level observability hook fires exactly once per evaluation.
 func evaluate(ev bitmask.Evaluator, mask uint16, w int) int {
-	if ev == bitmask.Popcount {
+	obs.MaskEvals(1)
+	switch ev {
+	case bitmask.BitShift:
+		return bitmask.BitShiftEval(mask, w)
+	case bitmask.SwitchCase:
+		return bitmask.SwitchEval(mask, w)
+	default:
 		return bitmask.PopcountEval(mask, w)
 	}
-	return ev.Evaluate(mask, w)
 }
 
 // searchDF is the paper's Algorithm 4: depth-first search using SIMD.
@@ -111,6 +121,7 @@ func (t *Tree[K]) Lookup(v K, ev bitmask.Evaluator) (rank int, found bool) {
 
 // LookupP is Lookup with a caller-prepared search register (see Prepare).
 func (t *Tree[K]) LookupP(v K, search simd.Search, ev bitmask.Evaluator) (rank int, found bool) {
+	obs.NodeVisits(1)
 	if t.n == 0 {
 		return 0, false
 	}
@@ -118,6 +129,7 @@ func (t *Tree[K]) LookupP(v K, search simd.Search, ev bitmask.Evaluator) (rank i
 		// S_max is always a real key; larger keys cannot be present.
 		return t.n, v == t.smax
 	}
+	obs.LevelsDescended(t.r)
 	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
 	data := t.data
 
@@ -172,15 +184,17 @@ func clamp(x, hi int) int {
 // BenchmarkAblationEqualityCheck measures it. Only the breadth-first
 // layout is supported, matching the paper's discussion.
 func (t *Tree[K]) SearchWithEquality(v K, ev bitmask.Evaluator) int {
+	if t.layout != BreadthFirst {
+		return t.Search(v, ev)
+	}
+	obs.NodeVisits(1)
 	if t.n == 0 {
 		return 0
 	}
 	if v >= t.smax {
 		return t.n
 	}
-	if t.layout != BreadthFirst {
-		return t.Search(v, ev)
-	}
+	obs.LevelsDescended(t.r)
 	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
 	search := simd.NewSearch(w, (uint64(v)^t.obias)&t.lmask)
 
@@ -235,7 +249,9 @@ func firstSetLane(mask uint16, width int) int {
 // search returning the index of the first element strictly greater than v.
 func UpperBound[K keys.Key](xs []K, v K) int {
 	lo, hi := 0, len(xs)
+	steps := 0
 	for lo < hi {
+		steps++
 		mid := int(uint(lo+hi) >> 1)
 		if xs[mid] <= v {
 			lo = mid + 1
@@ -243,6 +259,7 @@ func UpperBound[K keys.Key](xs []K, v K) int {
 			hi = mid
 		}
 	}
+	obs.ScalarComparisons(steps)
 	return lo
 }
 
@@ -251,8 +268,10 @@ func UpperBound[K keys.Key](xs []K, v K) int {
 func SequentialUpperBound[K keys.Key](xs []K, v K) int {
 	for i, x := range xs {
 		if x > v {
+			obs.ScalarComparisons(i + 1)
 			return i
 		}
 	}
+	obs.ScalarComparisons(len(xs))
 	return len(xs)
 }

@@ -9,6 +9,8 @@
 // restores the original value, so tree code never sees the bias.
 package keys
 
+import "errors"
+
 // Key is the set of fixed-width integer types usable as tree keys. The lane
 // width of the emulated 128-bit SIMD register is the size of the key type,
 // exactly as in the paper's Table 2.
@@ -171,3 +173,8 @@ func Unpack[K Key](b []byte) []K {
 	}
 	return xs
 }
+
+// ErrUnsorted reports construction input whose keys are not strictly
+// ascending. The Checked constructors of the tree packages wrap it with
+// position context; errors.Is(err, ErrUnsorted) matches them all.
+var ErrUnsorted = errors.New("keys not strictly ascending")

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is one bucket per possible bit length of a nanosecond
+// duration: bucket i holds observations with bits.Len64(ns) == i, i.e.
+// ns in [2^(i-1), 2^i). Bucket 0 holds exact zeros.
+const histBuckets = 65
+
+// Histogram is a lock-free latency histogram with power-of-two buckets.
+// The zero value is ready to use; Observe costs one predictable index
+// computation and two uncontended-in-the-common-case atomic adds.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64 // total observed nanoseconds
+}
+
+// Observe records one duration. Negative durations (clock steps) count as
+// zero rather than corrupting the sum.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	h.counts[bits.Len64(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Counts[i] is the number of observations with bit length i: durations
+	// in [2^(i-1), 2^i) nanoseconds (Counts[0] counts exact zeros).
+	Counts [histBuckets]uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// SumNanos is the sum of all observed durations in nanoseconds.
+	SumNanos uint64 `json:"sum_nanos"`
+}
+
+// Read copies the histogram.
+func (h *Histogram) Read() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// Mean returns the average observed duration, or 0 with no observations.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// exclusive upper edge of the bucket containing that rank. With
+// power-of-two buckets the bound is within 2x of the true value.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1)<<uint(i) - 1)
+		}
+	}
+	return time.Duration(1<<63 - 1)
+}

@@ -89,13 +89,23 @@ type node[K keys.Key, V any] struct {
 func (n *node[K, V]) leaf() bool { return n.children == nil }
 
 // New returns an empty tree with the given configuration. It panics on an
-// invalid configuration.
+// invalid configuration; NewChecked is the error-returning form.
 func New[K keys.Key, V any](cfg Config) *Tree[K, V] {
+	t, err := NewChecked[K, V](cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// NewChecked is New propagating an invalid configuration as an error
+// instead of panicking.
+func NewChecked[K keys.Key, V any](cfg Config) (*Tree[K, V], error) {
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	leaf := &node[K, V]{kt: *kary.BuildUnchecked[K](nil, cfg.Layout)}
-	return &Tree[K, V]{cfg: cfg, root: leaf, first: leaf}
+	return &Tree[K, V]{cfg: cfg, root: leaf, first: leaf}, nil
 }
 
 // NewDefault returns an empty tree with DefaultConfig.

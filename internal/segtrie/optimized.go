@@ -3,6 +3,7 @@ package segtrie
 import (
 	"repro/internal/kary"
 	"repro/internal/keys"
+	"repro/internal/obs"
 )
 
 // Optimized is the paper's optimized Seg-Trie (§4, last paragraphs): tree
@@ -60,11 +61,16 @@ func (t *Optimized[K, V]) segment(u uint64, level int) uint8 {
 // find mirrors Trie.find: single-key and full nodes take the §4 fast
 // paths.
 func (t *Optimized[K, V]) find(n *onode[V], pk uint8) (idx int, ok bool) {
+	// As in Trie.find, only the fast paths record the visit themselves;
+	// the k-ary path is counted inside kt.Lookup.
 	switch n.kt.Len() {
 	case 0:
+		obs.NodeVisits(1)
 		return 0, false
 	case 1:
 		// A single-key node holds exactly its maximum.
+		obs.NodeVisits(1)
+		obs.ScalarComparisons(1)
 		at, _ := n.kt.Max()
 		switch {
 		case at == pk:
@@ -75,6 +81,8 @@ func (t *Optimized[K, V]) find(n *onode[V], pk uint8) (idx int, ok bool) {
 			return 1, false
 		}
 	case 256:
+		// Full node: direct index, zero comparisons of any kind (§4).
+		obs.NodeVisits(1)
 		return int(pk), true
 	}
 	pos, found := n.kt.Lookup(pk, t.cfg.Evaluator)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/bitmask"
 	"repro/internal/kary"
 	"repro/internal/keys"
+	"repro/internal/obs"
 )
 
 // Config parameterizes a Seg-Trie.
@@ -95,11 +96,16 @@ func (t *Trie[K, V]) segment(u uint64, level int) uint8 {
 // paths: a single-key node is compared directly and a full node is indexed
 // without any search.
 func (t *Trie[K, V]) find(n *node[V], pk uint8) (idx int, ok bool) {
+	// The general path's node visit is counted inside kt.Lookup; the fast
+	// paths below bypass the k-ary search, so they record the visit here.
 	switch n.kt.Len() {
 	case 0:
+		obs.NodeVisits(1)
 		return 0, false
 	case 1:
 		// A single-key node holds exactly its maximum.
+		obs.NodeVisits(1)
+		obs.ScalarComparisons(1)
 		at, _ := n.kt.Max()
 		switch {
 		case at == pk:
@@ -110,6 +116,8 @@ func (t *Trie[K, V]) find(n *node[V], pk uint8) (idx int, ok bool) {
 			return 1, false
 		}
 	case 256:
+		// Full node: direct index, zero comparisons of any kind (§4).
+		obs.NodeVisits(1)
 		return int(pk), true
 	}
 	pos, found := n.kt.Lookup(pk, t.cfg.Evaluator)

@@ -1,6 +1,10 @@
 package simd
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"repro/internal/obs"
+)
 
 // Fused forms of the paper's per-node instruction sequence (load → compare
 // → movemask), used by the search hot paths. They are semantically
@@ -93,6 +97,7 @@ func gtMask32(a uint64, sc uint64) uint32 {
 // prepared search key for greater-than, and returns the movemask — steps
 // 1, 3 and 4 of the paper's §2.1 sequence in one kernel.
 func (s Search) GtMask(b []byte) uint16 {
+	obs.SIMDComparisons(1)
 	lo := binary.LittleEndian.Uint64(b)
 	hi := binary.LittleEndian.Uint64(b[8:])
 	switch s.width {
@@ -119,6 +124,7 @@ func (s Search) GtMask(b []byte) uint16 {
 // of the operands — exact for existence — and costs three ALU operations
 // per register half.
 func (s Search) EqAny(b []byte) bool {
+	obs.SIMDComparisons(1)
 	lo := binary.LittleEndian.Uint64(b)
 	hi := binary.LittleEndian.Uint64(b[8:])
 	switch s.width {
@@ -139,7 +145,10 @@ func (s Search) EqAny(b []byte) bool {
 // GtMaskEq combines GtMask and EqAny over a single pair of 64-bit loads,
 // for lookups that need both the rank digit and the membership bit of a
 // node visit.
+// In the §4 cost model a fused visit is still one SIMD comparison — both
+// results come from the same loaded register pair — so it counts once.
 func (s Search) GtMaskEq(b []byte) (mask uint16, eq bool) {
+	obs.SIMDComparisons(1)
 	lo := binary.LittleEndian.Uint64(b)
 	hi := binary.LittleEndian.Uint64(b[8:])
 	switch s.width {
@@ -178,6 +187,7 @@ func (s Search) GtMaskEq(b []byte) (mask uint16, eq bool) {
 // EqMask is GtMask for lane equality, used by the §3.1 equality-check
 // extension.
 func (s Search) EqMask(b []byte) uint16 {
+	obs.SIMDComparisons(1)
 	lo := binary.LittleEndian.Uint64(b)
 	hi := binary.LittleEndian.Uint64(b[8:])
 	switch s.width {

@@ -12,6 +12,8 @@
 package zhouross
 
 import (
+	"fmt"
+
 	"repro/internal/bitmask"
 	"repro/internal/kary"
 	"repro/internal/keys"
@@ -31,11 +33,21 @@ type List[K keys.Key] struct {
 }
 
 // New builds a Zhou-Ross searchable list from ascending keys. It panics
-// on unsorted input.
+// on unsorted input; NewChecked is the error-returning form.
 func New[K keys.Key](sorted []K) *List[K] {
+	l, err := NewChecked(sorted)
+	if err != nil {
+		panic(err.Error())
+	}
+	return l
+}
+
+// NewChecked is New returning an error wrapping keys.ErrUnsorted instead
+// of panicking when the input is not strictly ascending.
+func NewChecked[K keys.Key](sorted []K) (*List[K], error) {
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i-1] >= sorted[i] {
-			panic("zhouross: keys not strictly ascending")
+			return nil, fmt.Errorf("zhouross: %w at index %d", keys.ErrUnsorted, i)
 		}
 	}
 	w := keys.Width[K]()
@@ -58,7 +70,7 @@ func New[K keys.Key](sorted []K) *List[K] {
 	}
 	l.packed = make([]byte, padded*w)
 	if n == 0 {
-		return l
+		return l, nil
 	}
 	for i := 0; i < padded; i++ {
 		x := sorted[n-1]
@@ -67,7 +79,7 @@ func New[K keys.Key](sorted []K) *List[K] {
 		}
 		keys.PutAt(l.packed, i, x)
 	}
-	return l
+	return l, nil
 }
 
 // Len reports the number of keys.

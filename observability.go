@@ -1,0 +1,74 @@
+package simdtree
+
+import (
+	"repro/internal/index"
+	"repro/internal/obs"
+)
+
+// Observability surface of the facade: the runtime counters behind the
+// paper's §4/§5 cost model (SIMD comparisons, node visits, ...), per-op
+// latency histograms, and the instrumented index wrapper that exposes
+// both, including Prometheus text rendering (see cmd/segserve for a
+// complete /metrics server).
+
+// Counters accumulates the paper's cost-model quantities while enabled:
+// SIMD comparisons, bitmask evaluations, node visits, k-ary levels
+// descended and scalar comparisons. The zero value is ready to use; all
+// methods are safe for concurrent use.
+type Counters = obs.Counters
+
+// CounterSnapshot is one read of a Counters.
+type CounterSnapshot = obs.CounterSnapshot
+
+// HistogramSnapshot is one read of a latency histogram: power-of-two
+// nanosecond buckets, total count and sum.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// EnableCounters directs every structure's search-path hooks into c and
+// returns the previously enabled Counters (nil if none) for restoring:
+//
+//	var c simdtree.Counters
+//	prev := simdtree.EnableCounters(&c)
+//	defer simdtree.EnableCounters(prev)
+//	tree.Get(42)
+//	fmt.Println(c.Read().SIMDComparisons)
+//
+// While no Counters is enabled the hooks cost one atomic load.
+func EnableCounters(c *Counters) (prev *Counters) { return obs.Enable(c) }
+
+// DisableCounters detaches and returns the enabled Counters, if any.
+func DisableCounters() (prev *Counters) { return obs.Disable() }
+
+// ActiveCounters returns the currently enabled Counters, or nil.
+func ActiveCounters() *Counters { return obs.Active() }
+
+// InstrumentedIndex wraps any Index with per-operation latency histograms
+// and optional cost-model counters; it satisfies Index itself. Construct
+// with NewInstrumentedIndex or NewIndex(WithInstrumentation(...)), or wrap
+// an existing index with WrapInstrumented.
+type InstrumentedIndex[K Key, V any] = index.Instrumented[K, V]
+
+// IndexSnapshot is everything an InstrumentedIndex records: per-op
+// latency histograms, cost-model counters and the index shape.
+type IndexSnapshot = index.Snapshot
+
+// Op identifies one timed operation class of an InstrumentedIndex.
+type Op = index.Op
+
+// Timed operation classes.
+const (
+	OpGet           = index.OpGet
+	OpContains      = index.OpContains
+	OpPut           = index.OpPut
+	OpDelete        = index.OpDelete
+	OpGetBatch      = index.OpGetBatch
+	OpContainsBatch = index.OpContainsBatch
+	OpScan          = index.OpScan
+)
+
+// WrapInstrumented wraps an existing index with instrumentation;
+// withCounters attaches dedicated cost-model Counters scoped to the
+// wrapper's operations.
+func WrapInstrumented[K Key, V any](ix Index[K, V], withCounters bool) *InstrumentedIndex[K, V] {
+	return index.NewInstrumented(ix, withCounters)
+}

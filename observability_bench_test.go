@@ -1,0 +1,52 @@
+package simdtree_test
+
+// Overhead of the instrumentation wrapper, measured three ways: the bare
+// structure, the wrapper with recording switched off (the atomic-load
+// fast path that must stay within 5% of bare), and the wrapper recording
+// histograms + counters. Run with:
+//
+//	go test -run=^$ -bench=BenchmarkInstrumentedOverhead -benchtime=2s .
+
+import (
+	"math/rand"
+	"testing"
+
+	simdtree "repro"
+)
+
+func BenchmarkInstrumentedOverhead(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(42))
+	probes := make([]uint64, 4096)
+	for i := range probes {
+		probes[i] = uint64(rng.Intn(n))
+	}
+	build := func() simdtree.Index[uint64, uint64] {
+		t := simdtree.NewSegTree[uint64, uint64]()
+		for i := uint64(0); i < n; i++ {
+			t.Put(i, i)
+		}
+		return t
+	}
+	run := func(b *testing.B, ix simdtree.Index[uint64, uint64]) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := ix.Get(probes[i%len(probes)]); !ok {
+				b.Fatal("miss")
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, build()) })
+	b.Run("wrapped-off", func(b *testing.B) {
+		ix := simdtree.WrapInstrumented(build(), true)
+		ix.SetEnabled(false)
+		run(b, ix)
+	})
+	b.Run("wrapped-hist", func(b *testing.B) {
+		run(b, simdtree.WrapInstrumented(build(), false))
+	})
+	b.Run("wrapped-hist+counters", func(b *testing.B) {
+		run(b, simdtree.WrapInstrumented(build(), true))
+	})
+}

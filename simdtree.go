@@ -83,20 +83,35 @@ type SegTree[K Key, V any] = segtree.Tree[K, V]
 // SegTreeConfig parameterizes a SegTree.
 type SegTreeConfig = segtree.Config
 
-// NewSegTree returns an empty Seg-Tree with the paper's Table 3 node
-// sizing, depth-first layout and popcount evaluation.
-func NewSegTree[K Key, V any]() *SegTree[K, V] {
-	return segtree.NewDefault[K, V]()
+// NewSegTree returns an empty Seg-Tree. Without options it uses the
+// paper's Table 3 node sizing, depth-first layout and popcount
+// evaluation; WithLayout, WithEvaluator, WithLeafCap and WithBranchCap
+// override individual parameters:
+//
+//	t := simdtree.NewSegTree[uint64, string](
+//		simdtree.WithLayout(simdtree.BreadthFirst),
+//		simdtree.WithEvaluator(simdtree.SwitchCase),
+//	)
+func NewSegTree[K Key, V any](opts ...Option) *SegTree[K, V] {
+	o := buildOptions(opts)
+	o.reject("NewSegTree")
+	return segtree.New[K, V](o.segTreeConfig(segtree.DefaultConfig[K]()))
 }
 
 // NewSegTreeWithConfig returns an empty Seg-Tree with a custom
 // configuration.
+//
+// Deprecated: use NewSegTree with options (WithLayout, WithEvaluator,
+// WithLeafCap, WithBranchCap).
 func NewSegTreeWithConfig[K Key, V any](cfg SegTreeConfig) *SegTree[K, V] {
 	return segtree.New[K, V](cfg)
 }
 
 // DefaultSegTreeConfig returns the paper's default Seg-Tree configuration
 // for key type K.
+//
+// Deprecated: use NewSegTree with options; the zero-option call applies
+// this configuration.
 func DefaultSegTreeConfig[K Key]() SegTreeConfig {
 	return segtree.DefaultConfig[K]()
 }
@@ -119,24 +134,35 @@ type OptimizedSegTrie[K Key, V any] = segtrie.Optimized[K, V]
 // SegTrieConfig parameterizes both trie variants.
 type SegTrieConfig = segtrie.Config
 
-// NewSegTrie returns an empty Seg-Trie with the default configuration.
-func NewSegTrie[K Key, V any]() *SegTrie[K, V] {
-	return segtrie.NewDefault[K, V]()
+// NewSegTrie returns an empty Seg-Trie; WithLayout and WithEvaluator
+// override the per-node 17-ary search parameters.
+func NewSegTrie[K Key, V any](opts ...Option) *SegTrie[K, V] {
+	o := buildOptions(opts)
+	o.reject("NewSegTrie")
+	return segtrie.New[K, V](o.segTrieConfig("NewSegTrie"))
 }
 
 // NewSegTrieWithConfig returns an empty Seg-Trie with a custom
 // configuration.
+//
+// Deprecated: use NewSegTrie with options (WithLayout, WithEvaluator).
 func NewSegTrieWithConfig[K Key, V any](cfg SegTrieConfig) *SegTrie[K, V] {
 	return segtrie.New[K, V](cfg)
 }
 
-// NewOptimizedSegTrie returns an empty optimized Seg-Trie.
-func NewOptimizedSegTrie[K Key, V any]() *OptimizedSegTrie[K, V] {
-	return segtrie.NewOptimizedDefault[K, V]()
+// NewOptimizedSegTrie returns an empty optimized Seg-Trie; WithLayout and
+// WithEvaluator override the per-node 17-ary search parameters.
+func NewOptimizedSegTrie[K Key, V any](opts ...Option) *OptimizedSegTrie[K, V] {
+	o := buildOptions(opts)
+	o.reject("NewOptimizedSegTrie")
+	return segtrie.NewOptimized[K, V](o.segTrieConfig("NewOptimizedSegTrie"))
 }
 
 // NewOptimizedSegTrieWithConfig returns an empty optimized Seg-Trie with a
 // custom configuration.
+//
+// Deprecated: use NewOptimizedSegTrie with options (WithLayout,
+// WithEvaluator).
 func NewOptimizedSegTrieWithConfig[K Key, V any](cfg SegTrieConfig) *OptimizedSegTrie[K, V] {
 	return segtrie.NewOptimized[K, V](cfg)
 }
@@ -148,13 +174,18 @@ type BPlusTree[K Key, V any] = btree.Tree[K, V]
 // BPlusTreeConfig parameterizes a BPlusTree.
 type BPlusTreeConfig = btree.Config
 
-// NewBPlusTree returns an empty baseline B+-Tree with Table 3 node sizing.
-func NewBPlusTree[K Key, V any]() *BPlusTree[K, V] {
-	return btree.NewDefault[K, V]()
+// NewBPlusTree returns an empty baseline B+-Tree with Table 3 node
+// sizing; WithLeafCap and WithBranchCap override the node capacities.
+func NewBPlusTree[K Key, V any](opts ...Option) *BPlusTree[K, V] {
+	o := buildOptions(opts)
+	o.reject("NewBPlusTree")
+	return btree.New[K, V](o.bPlusTreeConfig(btree.DefaultConfig[K](), "NewBPlusTree"))
 }
 
 // NewBPlusTreeWithConfig returns an empty baseline B+-Tree with a custom
 // configuration.
+//
+// Deprecated: use NewBPlusTree with options (WithLeafCap, WithBranchCap).
 func NewBPlusTreeWithConfig[K Key, V any](cfg BPlusTreeConfig) *BPlusTree[K, V] {
 	return btree.New[K, V](cfg)
 }
@@ -171,9 +202,16 @@ func BulkLoadBPlusTree[K Key, V any](cfg BPlusTreeConfig, ks []K, vs []V) *BPlus
 type KaryTree[K Key] = kary.Tree[K]
 
 // BuildKaryTree linearizes a strictly ascending key list; it panics on
-// unsorted input.
+// unsorted input. BuildKaryTreeChecked is the error-returning form.
 func BuildKaryTree[K Key](sorted []K, layout Layout) *KaryTree[K] {
 	return kary.Build(sorted, layout)
+}
+
+// BuildKaryTreeChecked linearizes a strictly ascending key list,
+// returning an error wrapping ErrUnsorted instead of panicking on
+// unsorted input.
+func BuildKaryTreeChecked[K Key](sorted []K, layout Layout) (*KaryTree[K], error) {
+	return kary.BuildChecked(sorted, layout)
 }
 
 // UpperBound is the scalar baseline: binary search for the first element
