@@ -1,11 +1,13 @@
 # Development targets for the SIMD tree-structure reproduction.
 #
-#   make check   - vet + build + race-enabled tests + fuzz smoke
-#   make test    - plain test run (tier-1 gate)
-#   make bench   - segbench, all experiments, JSON to BENCH_segbench.json
-#   make fuzz    - 5 s smoke run of every fuzz target
-#   make fmt     - fail if any file is not gofmt-clean
-#   make serve   - run the observability HTTP server (cmd/segserve)
+#   make check       - vet + build + race-enabled tests + fuzz smoke
+#   make test        - plain test run (tier-1 gate)
+#   make bench       - segbench JSON + tracer-off overhead gate (<2%)
+#   make fuzz        - 5 s smoke run of every fuzz target
+#   make fmt         - fail if any file is not gofmt-clean
+#   make staticcheck - staticcheck ./... (skips when the tool is absent)
+#   make trace-demo  - render traced descents with cmd/treedump
+#   make serve       - run the observability HTTP server (cmd/segserve)
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -21,7 +23,7 @@ FUZZ_TARGETS = \
 
 SERVE_ARGS ?= -structure opt-segtrie -shards 16 -preload 100000
 
-.PHONY: check vet fmt build test race fuzz bench serve clean
+.PHONY: check vet fmt build test race fuzz bench staticcheck trace-demo serve clean
 
 check: vet fmt build race fuzz
 
@@ -50,6 +52,23 @@ fuzz:
 
 bench:
 	$(GO) run ./cmd/segbench -json BENCH_segbench.json
+	$(GO) test -tags overheadgate -run '^TestTracerOffOverheadGate$$' -count=1 -v .
+
+# staticcheck is not vendored; install with
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Two traced descents through the shared tracing kernel: breadth-first
+# and depth-first linearised k-ary trees, one hit and one miss each.
+trace-demo:
+	$(GO) run ./cmd/treedump -n 26 -layout bf -search 9
+	$(GO) run ./cmd/treedump -n 26 -layout bf -search 99
+	$(GO) run ./cmd/treedump -n 11 -layout df -search 7
 
 serve:
 	$(GO) run ./cmd/segserve $(SERVE_ARGS)

@@ -1,7 +1,10 @@
 // Command segserve exposes one index structure over HTTP together with
 // its full observability surface: per-operation latency histograms and
 // the paper's cost-model counters (SIMD comparisons, node visits, ...)
-// as Prometheus text metrics, expvar JSON and Go's pprof profiles.
+// as Prometheus text metrics (including Go runtime metrics), expvar
+// JSON, Go's pprof profiles, and per-operation search tracing — an
+// on-demand Explain endpoint plus always-on 1-in-N sampled traces with a
+// slow-op log.
 //
 //	segserve -structure opt-segtrie -shards 16 -preload 100000
 //
@@ -9,25 +12,34 @@
 //	curl 'localhost:8080/get?key=42'
 //	curl 'localhost:8080/getbatch?keys=1,2,42'
 //	curl 'localhost:8080/stats'
-//	curl 'localhost:8080/metrics'      # Prometheus text format 0.0.4
-//	curl 'localhost:8080/debug/vars'   # expvar JSON
+//	curl 'localhost:8080/metrics'          # Prometheus 0.0.4 + runtime metrics
+//	curl 'localhost:8080/debug/vars'       # expvar JSON
+//	curl 'localhost:8080/debug/explain?key=42'          # one traced descent
+//	curl 'localhost:8080/debug/explain?key=42&format=json'
+//	curl 'localhost:8080/debug/traces'     # recent sampled traces (JSON)
+//	curl 'localhost:8080/debug/slowops'    # sampled traces over the threshold
+//	curl 'localhost:8080/debug/tracerate'  # sampler stats; set with ?every=&slow=
 //
 // Keys are uint64, values are strings. The index is wrapped in
-// InstrumentedIndex (histograms + counters) and, with -shards >= 2, a
-// ShardedIndex, so concurrent requests are safe.
+// InstrumentedIndex (histograms + counters + trace sampling) and, with
+// -shards >= 2, a ShardedIndex, so concurrent requests are safe.
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	simdtree "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -36,15 +48,41 @@ func main() {
 		"index structure: segtree, segtrie, opt-segtrie, btree")
 	shards := flag.Int("shards", 16, "key-range shards (>= 2; 1 disables sharding)")
 	preload := flag.Int("preload", 0, "preload this many consecutive keys before serving")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	traceRate := flag.Int("trace-rate", 1024, "trace 1 in this many gets (0 disables sampling)")
+	slowThreshold := flag.Duration("slow-threshold", time.Millisecond,
+		"sampled gets at least this slow enter the slow-op log (0 disables)")
 	flag.Parse()
 
-	ix, err := newServer(*structure, *shards, *preload)
+	logger, err := newLogger(*logLevel)
 	if err != nil {
-		log.Fatalf("segserve: %v", err)
+		fmt.Fprintf(os.Stderr, "segserve: %v\n", err)
+		os.Exit(1)
 	}
-	log.Printf("segserve: %s with %d shards on %s (%d keys preloaded)",
-		*structure, *shards, *addr, *preload)
-	log.Fatal(http.ListenAndServe(*addr, ix.mux()))
+	slog.SetDefault(logger)
+
+	s, err := newServer(*structure, *shards, *preload)
+	if err != nil {
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
+	}
+	s.ix.Sampler().SetRate(*traceRate)
+	s.ix.Sampler().SetSlowThreshold(*slowThreshold)
+	logger.Info("serving",
+		"structure", *structure, "shards", *shards, "addr", *addr,
+		"preloaded", *preload, "trace_rate", *traceRate, "slow_threshold", *slowThreshold)
+	err = http.ListenAndServe(*addr, s.handler(logger))
+	logger.Error("server exited", "err", err)
+	os.Exit(1)
+}
+
+// newLogger builds a text slog.Logger at the named level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 // server owns the instrumented index and its HTTP handlers. It is split
@@ -70,6 +108,9 @@ func newServer(structure string, shards, preload int) (*server, error) {
 	for i := 0; i < preload; i++ {
 		ix.Put(uint64(i), strconv.Itoa(i))
 	}
+	// Sampling is attached here with serving defaults; main re-tunes the
+	// rate and threshold from flags, and /debug/tracerate at runtime.
+	ix.EnableSampling(1024, time.Millisecond)
 	srv := &server{ix: ix}
 	srv.ix.PublishExpvar("segserve")
 	return srv, nil
@@ -86,6 +127,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/debug/explain", s.handleExplain)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/slowops", s.handleSlowOps)
+	mux.HandleFunc("/debug/tracerate", s.handleTraceRate)
 	// expvar and pprof register on http.DefaultServeMux; re-expose them on
 	// our own mux so segserve works with a custom one.
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -95,6 +140,46 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handler wraps the mux with structured request logging.
+func (s *server) handler(logger *slog.Logger) http.Handler {
+	mux := s.mux()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start),
+			"keys", requestKeyCount(r))
+	})
+}
+
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// requestKeyCount counts the keys a request addresses: one for a key=
+// parameter, the list length for keys=, zero otherwise.
+func requestKeyCount(r *http.Request) int {
+	q := r.URL.Query()
+	if q.Get("key") != "" {
+		return 1
+	}
+	if ks := q.Get("keys"); ks != "" {
+		return strings.Count(ks, ",") + 1
+	}
+	return 0
 }
 
 func keyParam(w http.ResponseWriter, r *http.Request) (uint64, bool) {
@@ -180,4 +265,63 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.ix.WritePrometheus(w, "segserve")
+	obs.WriteRuntimeProm(w, "segserve_go")
+	st := s.ix.Sampler().Stats()
+	fmt.Fprintf(w, "# TYPE segserve_trace_sampled_total counter\nsegserve_trace_sampled_total %d\n", st.Sampled)
+	fmt.Fprintf(w, "# TYPE segserve_trace_slow_total counter\nsegserve_trace_slow_total %d\n", st.Slow)
+}
+
+// handleExplain runs one traced lookup and renders the descent — plain
+// text by default, the full structured trace with ?format=json.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	tr := s.ix.Explain(k)
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, tr)
+		return
+	}
+	fmt.Fprintln(w, tr)
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.Sampler().Sampled())
+}
+
+func (s *server) handleSlowOps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.Sampler().SlowOps())
+}
+
+// handleTraceRate reports the sampler's stats; ?every=N adjusts the
+// 1-in-N rate (0 disables) and ?slow=D (a Go duration) the slow-op
+// threshold, at runtime.
+func (s *server) handleTraceRate(w http.ResponseWriter, r *http.Request) {
+	sp := s.ix.Sampler()
+	q := r.URL.Query()
+	if ev := q.Get("every"); ev != "" {
+		n, err := strconv.Atoi(ev)
+		if err != nil {
+			http.Error(w, "bad every parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sp.SetRate(n)
+	}
+	if sl := q.Get("slow"); sl != "" {
+		d, err := time.ParseDuration(sl)
+		if err != nil {
+			http.Error(w, "bad slow parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sp.SetSlowThreshold(d)
+	}
+	writeJSON(w, sp.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -120,5 +121,106 @@ func TestServerStatsAndMetrics(t *testing.T) {
 func TestNewServerRejectsUnknownStructure(t *testing.T) {
 	if _, err := newServer("skiplist", 1, 0); err == nil {
 		t.Fatal("unknown structure accepted")
+	}
+}
+
+func TestTracingEndpoints(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Explain: text by default, structured JSON on demand.
+	code, body := get(t, ts.URL+"/debug/explain?key=42")
+	if code != 200 {
+		t.Fatalf("/debug/explain = %d", code)
+	}
+	for _, want := range []string{"get key=42", "structure=opt-segtrie", "hit", "totals:"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/explain body missing %q:\n%s", want, body)
+		}
+	}
+	if code, body := get(t, ts.URL+"/debug/explain?key=42&format=json"); code != 200 ||
+		!strings.Contains(body, `"structure": "opt-segtrie"`) {
+		t.Errorf("/debug/explain json = %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/debug/explain?key=bogus"); code != 400 {
+		t.Errorf("/debug/explain bad key = %d, want 400", code)
+	}
+
+	// Rate controls: set to 1, verify every get is sampled.
+	if code, body := get(t, ts.URL+"/debug/tracerate?every=1&slow=1ns"); code != 200 ||
+		!strings.Contains(body, `"rate": 1`) {
+		t.Fatalf("/debug/tracerate set = %d %q", code, body)
+	}
+	for i := 0; i < 5; i++ {
+		get(t, ts.URL+"/get?key=7")
+	}
+	if st := s.ix.Sampler().Stats(); st.Sampled < 5 {
+		t.Fatalf("rate 1 sampled %d of >= 5 gets", st.Sampled)
+	}
+	if code, body := get(t, ts.URL+"/debug/traces"); code != 200 ||
+		!strings.Contains(body, `"key": "7"`) {
+		t.Errorf("/debug/traces = %d, missing sampled key:\n%s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/debug/slowops"); code != 200 ||
+		!strings.Contains(body, `"steps"`) {
+		t.Errorf("/debug/slowops = %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/debug/tracerate?every=bogus"); code != 400 {
+		t.Errorf("/debug/tracerate bad every = %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/tracerate?slow=bogus"); code != 400 {
+		t.Errorf("/debug/tracerate bad slow = %d, want 400", code)
+	}
+}
+
+func TestMetricsIncludeRuntimeAndSampler(t *testing.T) {
+	_, ts := newTestServer(t)
+	get(t, ts.URL+"/get?key=1")
+	_, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE segserve_go_goroutines gauge",
+		"# TYPE segserve_go_gc_cycles_total counter",
+		"# TYPE segserve_go_sched_latency_seconds histogram",
+		"segserve_trace_sampled_total",
+		"segserve_trace_slow_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	s, err := newServer("segtree", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	ts := httptest.NewServer(s.handler(logger))
+	defer ts.Close()
+
+	get(t, ts.URL+"/get?key=3")
+	get(t, ts.URL+"/get?key=99999")
+	get(t, ts.URL+"/getbatch?keys=1,2,3")
+	logs := buf.String()
+	for _, want := range []string{
+		"method=GET", "path=/get", "status=200", "keys=1",
+		"status=404",
+		"path=/getbatch", "keys=3",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("request log missing %q in:\n%s", want, logs)
+		}
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	for _, lv := range []string{"debug", "info", "WARN", "error"} {
+		if _, err := newLogger(lv); err != nil {
+			t.Errorf("newLogger(%q) = %v", lv, err)
+		}
+	}
+	if _, err := newLogger("loud"); err == nil {
+		t.Error("newLogger accepted a bogus level")
 	}
 }

@@ -17,7 +17,7 @@ import (
 	"repro/internal/bitmask"
 	"repro/internal/kary"
 	"repro/internal/keys"
-	"repro/internal/simd"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -53,67 +53,36 @@ func main() {
 		tree = df
 	}
 	fmt.Printf("search trace for key %d on the %s layout:\n", *search, layout)
-	trace(tree, *search)
+	// The trace is recorded by the same kernel the search runs (the
+	// hand-rolled replay this command once carried could drift from it).
+	tr := trace.New("search", fmt.Sprint(*search))
+	pos := tree.SearchT(*search, bitmask.Popcount, tr)
+	tr.Finish(pos < tree.Len())
+	for _, s := range tr.Steps {
+		fmt.Printf("  %s\n", renderStep(s, *search))
+	}
+	fmt.Printf("totals: %d SIMD compares, %d mask evaluations\n",
+		tr.SIMDComparisons(), tr.MaskEvaluations())
 	fmt.Printf("result: first key greater than %d is at sorted position %d (binary search agrees: %d)\n",
-		*search, tree.Search(*search, bitmask.Popcount), kary.UpperBound(sorted, *search))
+		*search, pos, kary.UpperBound(sorted, *search))
 }
 
-// trace replays the per-level SIMD sequence with intermediate values. It
-// re-derives the node walk from the public Search result per level prefix,
-// printing the keys loaded, the movemask and the evaluated position.
-func trace(t *kary.Tree[int64], v int64) {
-	lin := t.Linearized()
-	k := keys.K[int64]()
-	lanes := k - 1
-	if t.Len() == 0 {
-		fmt.Println("  (empty tree)")
-		return
-	}
-	if max, _ := t.Max(); v >= max {
-		fmt.Printf("  v >= S_max (%d): replenishment check short-circuits, no key greater\n", max)
-		return
-	}
-	search := simd.NewSearch(8, keys.OrderedBits(v))
-	if t.Layout() == kary.BreadthFirst {
-		pLevel, base, lvlCnt := 0, 0, 1
-		for level := 0; base < t.Stored(); level++ {
-			idx := base + pLevel*lanes
-			if idx >= t.Stored() {
-				fmt.Printf("  level %d: node %d absent (pad region), digits stay 0\n", level, pLevel)
-				break
-			}
-			node := lin[idx : idx+lanes]
-			mask := search.GtMask(keys.Pack(node))
-			pos := bitmask.PopcountEval(mask, 8)
-			fmt.Printf("  level %d: load %v  compare >%d  movemask=%#04x  position=%d\n",
-				level, node, v, mask, pos)
-			pLevel = pLevel*k + pos
-			base += lvlCnt * lanes
-			lvlCnt *= k
+// renderStep formats one trace step in treedump's level-per-line style.
+func renderStep(s trace.Step, v int64) string {
+	switch s.Kind {
+	case trace.KindSIMD:
+		return fmt.Sprintf("level %d: load [%s]  compare >%d  movemask=%#04x  position=%d",
+			s.Level, strings.Join(s.Loaded, " "), v, s.Mask, s.Position)
+	case trace.KindFastPath:
+		switch s.Note {
+		case "empty-node":
+			return "(empty tree)"
+		case "smax-short-circuit":
+			return fmt.Sprintf("v >= S_max: replenishment check short-circuits, position=%d", s.Position)
+		default:
+			return fmt.Sprintf("level %d: %s, digits stay 0", s.Level, s.Note)
 		}
-		return
-	}
-	subSize := 1
-	for i := 0; i < t.Levels(); i++ {
-		subSize *= k
-	}
-	subSize--
-	keyIdx, pLevel, level := 0, 0, 0
-	for subSize > 0 {
-		pLevel *= k
-		subSize = (subSize - lanes) / k
-		if keyIdx >= t.Stored() {
-			fmt.Printf("  level %d: subtree absent (pad region), digit 0\n", level)
-			level++
-			continue
-		}
-		node := lin[keyIdx : keyIdx+lanes]
-		mask := search.GtMask(keys.Pack(node))
-		pos := bitmask.PopcountEval(mask, 8)
-		fmt.Printf("  level %d: load %v  compare >%d  movemask=%#04x  position=%d  (skip %d slots)\n",
-			level, node, v, mask, pos, subSize*pos)
-		keyIdx += lanes + subSize*pos
-		pLevel += pos
-		level++
+	default:
+		return fmt.Sprintf("%s position=%d", s.Kind, s.Position)
 	}
 }

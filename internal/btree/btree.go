@@ -11,6 +11,7 @@ import (
 	"repro/internal/kary"
 	"repro/internal/keys"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Config sizes the tree nodes. The paper derives the per-data-type key
@@ -125,6 +126,37 @@ func (t *Tree[K, V]) Get(key K) (v V, ok bool) {
 	}
 	obs.NodeVisits(1)
 	i := kary.UpperBound(n.keys, key)
+	if i > 0 && n.keys[i-1] == key {
+		return n.vals[i-1], true
+	}
+	return v, false
+}
+
+// GetTraced is Get additionally recording the descent into tr: one node
+// step per level and the binary-search comparison count and branch taken
+// inside it. The baseline has no SIMD compares, so its traces contain
+// only node, scalar and branch steps — the contrast the adapted trees'
+// traces are read against. A nil tr makes it exactly Get.
+func (t *Tree[K, V]) GetTraced(key K, tr *trace.Trace) (v V, ok bool) {
+	if tr == nil {
+		return t.Get(key)
+	}
+	tr.SetStructure("btree")
+	n := t.root
+	depth := 0
+	for !n.leaf() {
+		obs.NodeVisits(1)
+		tr.Node(depth, len(n.keys), "", "branch")
+		i, steps := kary.UpperBoundCount(n.keys, key)
+		tr.Scalar(steps, i)
+		tr.Branch(i)
+		n = n.children[i]
+		depth++
+	}
+	obs.NodeVisits(1)
+	tr.Node(depth, len(n.keys), "", "leaf")
+	i, steps := kary.UpperBoundCount(n.keys, key)
+	tr.Scalar(steps, i)
 	if i > 0 && n.keys[i-1] == key {
 		return n.vals[i-1], true
 	}

@@ -11,14 +11,19 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bitmask"
 	"repro/internal/btree"
 	"repro/internal/index"
 	"repro/internal/kary"
+	"repro/internal/obs"
 	"repro/internal/segtree"
 	"repro/internal/segtrie"
+	"repro/internal/trace"
 )
 
 type maker struct {
@@ -104,6 +109,7 @@ func TestConformance(t *testing.T) {
 			verifyIteration(t, ix, ref)
 			verifyBatchParity(t, ix, ref, 223)
 			verifyStats(t, ix, ref)
+			verifyExplain(t, ix, ref)
 		})
 	}
 }
@@ -291,6 +297,106 @@ func verifyBatchParity(t *testing.T, ix index.Index[uint32, int], ref map[uint32
 	}
 }
 
+// unwrapAll strips wrapper layers (Instrumented) down to the innermost
+// index. The counter-parity check below enables a local obs.Counters
+// around the traced call; an Instrumented wrapper with attached counters
+// would divert the process-global hook mid-operation, so parity is
+// checked against the unwrapped index.
+func unwrapAll(ix index.Index[uint32, int]) index.Index[uint32, int] {
+	for {
+		u, ok := ix.(interface {
+			Unwrap() index.Index[uint32, int]
+		})
+		if !ok {
+			return ix
+		}
+		ix = u.Unwrap()
+	}
+}
+
+// verifyExplain pins the tracing contract on every implementation: a
+// traced Get returns exactly what Get returns, the trace's totals equal
+// the obs counter deltas of the very same call (the two observability
+// layers cannot drift), and every recorded SIMD step is self-consistent —
+// its position is the popcount evaluation of its recorded mask, and
+// equals the number of recorded lanes ≤ the compared value (the traced
+// branch is the branch binary search would take).
+func verifyExplain(t *testing.T, ix index.Index[uint32, int], ref map[uint32]int) {
+	t.Helper()
+	inner := unwrapAll(ix)
+	ks := sortedKeys(ref)
+	var probes []uint32
+	if len(ks) > 0 {
+		probes = append(probes, ks[0], ks[len(ks)/2], ks[len(ks)-1])
+	}
+	probes = append(probes, 1001, 2500, 4001) // mostly misses
+	for _, k := range probes {
+		var c obs.Counters
+		prev := obs.Enable(&c)
+		tr := trace.New("get", fmt.Sprint(k))
+		v, ok := inner.GetTraced(k, tr)
+		obs.Enable(prev)
+		tr.Finish(ok)
+
+		wantV, wantOK := ix.Get(k)
+		if ok != wantOK || (ok && v != wantV) {
+			t.Fatalf("GetTraced(%d) = (%d,%v), Get = (%d,%v)", k, v, ok, wantV, wantOK)
+		}
+		if v2, ok2 := inner.GetTraced(k, nil); ok2 != ok || (ok && v2 != v) {
+			t.Fatalf("GetTraced(%d, nil) = (%d,%v), traced = (%d,%v)", k, v2, ok2, v, ok)
+		}
+		if tr.Found != ok {
+			t.Fatalf("trace(%d).Found = %v, want %v", k, tr.Found, ok)
+		}
+		if tr.Structure == "" {
+			t.Fatalf("trace(%d) has no structure name", k)
+		}
+		snap := c.Read()
+		if int(snap.SIMDComparisons) != tr.SIMDComparisons() ||
+			int(snap.MaskEvaluations) != tr.MaskEvaluations() ||
+			int(snap.NodeVisits) != tr.NodeVisits() ||
+			int(snap.ScalarComparisons) != tr.ScalarComparisons() {
+			t.Fatalf("trace(%d) counter parity: counters (simd=%d masks=%d nodes=%d scalar=%d), trace (simd=%d masks=%d nodes=%d scalar=%d)\n%s",
+				k, snap.SIMDComparisons, snap.MaskEvaluations, snap.NodeVisits, snap.ScalarComparisons,
+				tr.SIMDComparisons(), tr.MaskEvaluations(), tr.NodeVisits(), tr.ScalarComparisons(), tr)
+		}
+		verifyTraceSteps(t, tr, uint64(k))
+	}
+}
+
+// verifyTraceSteps checks every SIMD step of a trace against its own
+// recorded evidence. cmp starts as the full search key and becomes the
+// extracted partial key after each trie segment step.
+func verifyTraceSteps(t *testing.T, tr *trace.Trace, key uint64) {
+	t.Helper()
+	cmp := key
+	for i, s := range tr.Steps {
+		switch s.Kind {
+		case trace.KindSegment:
+			cmp = uint64(s.Segment)
+		case trace.KindSIMD:
+			if got := bitmask.PopcountEval(s.Mask, s.Width); got != s.Position {
+				t.Fatalf("step %d: position %d != PopcountEval(%#04x,%d) = %d\n%s",
+					i, s.Position, s.Mask, s.Width, got, tr)
+			}
+			le := 0
+			for _, lane := range s.Loaded {
+				lv, err := strconv.ParseUint(lane, 10, 64)
+				if err != nil {
+					t.Fatalf("step %d: unparseable lane %q: %v", i, lane, err)
+				}
+				if lv <= cmp {
+					le++
+				}
+			}
+			if le != s.Position {
+				t.Fatalf("step %d: position %d but %d of lanes %v are <= %d\n%s",
+					i, s.Position, le, s.Loaded, cmp, tr)
+			}
+		}
+	}
+}
+
 func verifyStats(t *testing.T, ix index.Index[uint32, int], ref map[uint32]int) {
 	t.Helper()
 	s := ix.IndexStats()
@@ -303,6 +409,77 @@ func verifyStats(t *testing.T, ix index.Index[uint32, int], ref map[uint32]int) 
 		}
 		if s.KeyMemoryBytes <= 0 || s.MemoryBytes < s.KeyMemoryBytes {
 			t.Fatalf("stats memory: %+v", s)
+		}
+	}
+}
+
+// TestSamplingUnderMixedLoad exercises always-on sampling concurrently
+// with a mutating workload and runtime rate changes — the production
+// configuration. Run with -race to verify the lock-free rings and the
+// sampler's atomics.
+func TestSamplingUnderMixedLoad(t *testing.T) {
+	ix := index.NewInstrumented(index.NewSharded[uint32, int](5, func() index.Index[uint32, int] {
+		return segtree.New[uint32, int](segtree.Config{
+			LeafCap: 6, BranchCap: 6, Layout: kary.DepthFirst, Evaluator: bitmask.Popcount,
+		})
+	}), false)
+	sp := ix.EnableSampling(2, time.Nanosecond)
+	for i := uint32(0); i < 500; i++ {
+		ix.Put(i, int(i))
+	}
+
+	const workers, ops = 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				k := uint32(rng.Intn(1000))
+				switch rng.Intn(5) {
+				case 0:
+					ix.Put(k, i)
+				case 1:
+					ix.Delete(k)
+				case 2:
+					ix.GetBatch([]uint32{k, k + 1, k + 2})
+				default:
+					ix.Get(k)
+				}
+			}
+		}(int64(w + 1))
+	}
+	// A reader concurrently drains the rings and flips the rate, as a
+	// debug endpoint would.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			sp.SetRate(1 + i%3)
+			for _, tr := range sp.Sampled() {
+				if tr == nil || tr.Op != "get" {
+					t.Errorf("malformed sampled trace %+v", tr)
+					return
+				}
+			}
+			sp.SlowOps()
+			sp.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	st := sp.Stats()
+	if st.Sampled == 0 {
+		t.Fatal("no operations sampled under load")
+	}
+	if st.Ops == 0 {
+		t.Fatal("sampler saw no operations")
+	}
+	for _, tr := range sp.Sampled() {
+		if tr.Structure != "segtree" || tr.Duration <= 0 {
+			t.Fatalf("sampled trace not finished: %+v", tr)
 		}
 	}
 }

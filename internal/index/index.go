@@ -16,7 +16,10 @@
 // internal/keys, and segtree/segtrie/btree import it for the engine.
 package index
 
-import "repro/internal/keys"
+import (
+	"repro/internal/keys"
+	"repro/internal/trace"
+)
 
 // Basic is the minimal mutable map surface shared by every structure —
 // the subset concurrent wrappers need. concurrent.Map is this interface.
@@ -61,6 +64,12 @@ type Index[K keys.Key, V any] interface {
 	// Ascend calls fn for every item in ascending key order until fn
 	// returns false.
 	Ascend(fn func(K, V) bool)
+	// GetTraced is Get additionally recording the per-level descent —
+	// node identity, SIMD compares, mask verdicts, branch taken — into tr.
+	// A nil tr must make it exactly Get: implementations share kernels
+	// between the two paths so the trace cannot drift from the real
+	// search.
+	GetTraced(key K, tr *trace.Trace) (V, bool)
 	// IndexStats summarizes shape and memory in structure-independent
 	// terms. The structures additionally expose richer per-package Stats.
 	IndexStats() Stats

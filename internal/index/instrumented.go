@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/keys"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Op identifies one timed operation class of an Instrumented index.
@@ -66,6 +67,9 @@ type Instrumented[K keys.Key, V any] struct {
 	on      atomic.Bool
 	hists   [opCount]obs.Histogram
 	counter *obs.Counters // nil when per-index counters are not attached
+	// sampler, when set, traces 1-in-N Gets into its rings (always-on
+	// production tracing); nil means no sampling and zero extra cost.
+	sampler atomic.Pointer[trace.Sampler]
 }
 
 // NewInstrumented wraps inner. withCounters additionally attaches a
@@ -123,16 +127,64 @@ func (ix *Instrumented[K, V]) end(op Op, start time.Time, prev *obs.Counters) {
 	}
 }
 
-// Get implements Index.
+// Get implements Index. When sampling is enabled (EnableSampling) the
+// selected 1-in-N calls additionally record a full descent trace into the
+// sampler's rings; unsampled calls pay one atomic load. Sampling is part
+// of instrumentation: SetEnabled(false) suspends it along with the
+// histograms, keeping the disabled path at a single flag check.
 func (ix *Instrumented[K, V]) Get(k K) (V, bool) {
 	if !ix.on.Load() {
 		return ix.inner.Get(k)
 	}
 	start, prev := ix.begin()
-	v, ok := ix.inner.Get(k)
+	var v V
+	var ok bool
+	if sp := ix.sampler.Load(); sp.ShouldSample() {
+		tr := trace.New("get", fmt.Sprint(k))
+		v, ok = ix.inner.GetTraced(k, tr)
+		tr.Finish(ok)
+		sp.Record(tr)
+	} else {
+		v, ok = ix.inner.Get(k)
+	}
 	ix.end(OpGet, start, prev)
 	return v, ok
 }
+
+// GetTraced implements Index: the descent is recorded into tr and the
+// call is timed as a Get. A nil tr makes it exactly Get.
+func (ix *Instrumented[K, V]) GetTraced(k K, tr *trace.Trace) (V, bool) {
+	if !ix.on.Load() {
+		return ix.inner.GetTraced(k, tr)
+	}
+	start, prev := ix.begin()
+	v, ok := ix.inner.GetTraced(k, tr)
+	ix.end(OpGet, start, prev)
+	return v, ok
+}
+
+// Explain runs one traced Get against the wrapped index and returns the
+// finished trace — the on-demand "why did this lookup do what it did"
+// view, independent of the sampler.
+func (ix *Instrumented[K, V]) Explain(k K) *trace.Trace {
+	tr := trace.New("get", fmt.Sprint(k))
+	_, ok := ix.GetTraced(k, tr)
+	tr.Finish(ok)
+	return tr
+}
+
+// EnableSampling attaches (replacing any previous) a sampler tracing 1 in
+// every Gets and flagging sampled operations at or above slowThreshold,
+// and returns it. every ≤ 0 leaves the sampler attached but off.
+func (ix *Instrumented[K, V]) EnableSampling(every int, slowThreshold time.Duration) *trace.Sampler {
+	sp := trace.NewSampler(every, slowThreshold)
+	ix.sampler.Store(sp)
+	return sp
+}
+
+// Sampler returns the attached sampler, or nil when sampling was never
+// enabled.
+func (ix *Instrumented[K, V]) Sampler() *trace.Sampler { return ix.sampler.Load() }
 
 // Contains implements Index.
 func (ix *Instrumented[K, V]) Contains(k K) bool {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/keys"
+	"repro/internal/trace"
 )
 
 // Sharded key-range-partitions any Index across a fixed number of shards,
@@ -67,6 +68,21 @@ func (s *Sharded[K, V]) Get(key K) (V, bool) {
 	sh := &s.shards[s.shardOf(key)]
 	sh.mu.RLock()
 	v, ok := sh.ix.Get(key)
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// GetTraced is Get additionally recording the shard routed to and the
+// underlying index's descent into tr. A nil tr makes it exactly Get.
+func (s *Sharded[K, V]) GetTraced(key K, tr *trace.Trace) (V, bool) {
+	if tr == nil {
+		return s.Get(key)
+	}
+	i := s.shardOf(key)
+	tr.Shard(i)
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	v, ok := sh.ix.GetTraced(key, tr)
 	sh.mu.RUnlock()
 	return v, ok
 }

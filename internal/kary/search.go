@@ -1,10 +1,13 @@
 package kary
 
 import (
+	"fmt"
+
 	"repro/internal/bitmask"
 	"repro/internal/keys"
 	"repro/internal/obs"
 	"repro/internal/simd"
+	"repro/internal/trace"
 )
 
 // Search returns the index, in the original sorted order, of the first key
@@ -19,21 +22,41 @@ func (t *Tree[K]) Search(v K, ev bitmask.Evaluator) int {
 // SearchP is Search with a caller-prepared search register (see Prepare),
 // so one tree descent broadcasts the key only once.
 func (t *Tree[K]) SearchP(v K, search simd.Search, ev bitmask.Evaluator) int {
+	return t.SearchPT(v, search, ev, nil)
+}
+
+// SearchT is Search additionally recording every level's loaded lanes,
+// movemask and verdict into tr (nil records nothing). The traced and
+// untraced paths share one kernel, so a trace shows exactly what the
+// search executed.
+func (t *Tree[K]) SearchT(v K, ev bitmask.Evaluator, tr *trace.Trace) int {
+	return t.SearchPT(v, simd.NewSearch(int(t.w), (uint64(v)^t.obias)&t.lmask), ev, tr)
+}
+
+// SearchPT is SearchP with per-level trace recording into tr (nil records
+// nothing and costs one pointer comparison per level).
+func (t *Tree[K]) SearchPT(v K, search simd.Search, ev bitmask.Evaluator, tr *trace.Trace) int {
 	obs.NodeVisits(1)
 	if t.n == 0 {
+		if tr != nil {
+			tr.FastPath("empty-node", 0)
+		}
 		return 0
 	}
 	// §3.3: replenishment check. If v is not smaller than S_max, no key is
 	// greater; this also guarantees the descent below never reads pad-only
 	// regions outside the truncated storage.
 	if v >= t.smax {
+		if tr != nil {
+			tr.FastPath("smax-short-circuit", t.n)
+		}
 		return t.n
 	}
 	obs.LevelsDescended(t.r)
 	if t.layout == DepthFirst {
-		return t.searchDF(search, ev)
+		return t.searchDF(search, ev, tr)
 	}
-	return t.searchBF(search, ev)
+	return t.searchBF(search, ev, tr)
 }
 
 // searchBF is the paper's Algorithm 5: breadth-first search using SIMD,
@@ -44,7 +67,7 @@ func (t *Tree[K]) SearchP(v K, search simd.Search, ev bitmask.Evaluator) int {
 // existing leaf, giving rank pLevel + m·(k−1) directly. The five-step
 // SIMD sequence of §2.1 (load, broadcast, compare, movemask, evaluate) is
 // written out in the loop body so it compiles to straight-line code.
-func (t *Tree[K]) searchBF(search simd.Search, ev bitmask.Evaluator) int {
+func (t *Tree[K]) searchBF(search simd.Search, ev bitmask.Evaluator, tr *trace.Trace) int {
 	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
 	data := t.data
 
@@ -54,17 +77,40 @@ func (t *Tree[K]) searchBF(search simd.Search, ev bitmask.Evaluator) int {
 	for R := 0; R < t.r-1; R++ {
 		keyIdx := base + pLevel*lanes
 		mask := search.GtMask(data[keyIdx*w:])
-		pLevel = pLevel*k + evaluate(ev, mask, w)
+		pos := evaluate(ev, mask, w)
+		if tr != nil {
+			tr.SIMD(R, w, t.laneStrings(keyIdx), mask, false, pos)
+		}
+		pLevel = pLevel*k + pos
 		base += lvlCnt * lanes
 		lvlCnt *= k
 	}
 	if pLevel >= t.m {
 		// Missing last-level node: v is larger than every key of all m
 		// existing leaves, which therefore all count as ≤ v.
+		if tr != nil {
+			tr.Skip(t.r-1, "missing-leaf-node")
+		}
 		return clamp(pLevel+t.m*lanes, t.n)
 	}
-	mask := search.GtMask(data[(base+pLevel*lanes)*w:])
-	return clamp(pLevel*k+evaluate(ev, mask, w), t.n)
+	keyIdx := base + pLevel*lanes
+	mask := search.GtMask(data[keyIdx*w:])
+	pos := evaluate(ev, mask, w)
+	if tr != nil {
+		tr.SIMD(t.r-1, w, t.laneStrings(keyIdx), mask, false, pos)
+	}
+	return clamp(pLevel*k+pos, t.n)
+}
+
+// laneStrings formats the lane values of the node starting at slot
+// keyIdx for a trace step; called only on traced descents.
+func (t *Tree[K]) laneStrings(keyIdx int) []string {
+	lanes := int(t.lanes)
+	out := make([]string, lanes)
+	for i := 0; i < lanes; i++ {
+		out[i] = fmt.Sprint(keys.GetAt[K](t.data, keyIdx+i))
+	}
+	return out
 }
 
 // evaluate dispatches the bitmask evaluation with an inlined fast path for
@@ -86,23 +132,29 @@ func evaluate(ev bitmask.Evaluator, mask uint16, w int) int {
 // searchDF is the paper's Algorithm 4: depth-first search using SIMD.
 // subSize tracks the per-child key capacity of the shrinking perfect
 // subtree; the key pointer jumps over the chosen number of subtrees.
-func (t *Tree[K]) searchDF(search simd.Search, ev bitmask.Evaluator) int {
+func (t *Tree[K]) searchDF(search simd.Search, ev bitmask.Evaluator, tr *trace.Trace) int {
 	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
 	data := t.data
 
 	subSize := pow(k, t.r) - 1
 	pLevel := 0
 	keyIdx := 0
-	for subSize > 0 {
+	for R := 0; subSize > 0; R++ {
 		pLevel *= k
 		subSize = (subSize - lanes) / k
 		if keyIdx >= t.stored {
 			// Truncated pure-pad region: every pad equals S_max > v, so
 			// the digit of this and all deeper levels is 0.
+			if tr != nil {
+				tr.Skip(R, "pad-region")
+			}
 			continue
 		}
 		mask := search.GtMask(data[keyIdx*w:])
 		position := evaluate(ev, mask, w)
+		if tr != nil {
+			tr.SIMD(R, w, t.laneStrings(keyIdx), mask, false, position)
+		}
 		keyIdx += lanes + subSize*position
 		pLevel += position
 	}
@@ -121,12 +173,30 @@ func (t *Tree[K]) Lookup(v K, ev bitmask.Evaluator) (rank int, found bool) {
 
 // LookupP is Lookup with a caller-prepared search register (see Prepare).
 func (t *Tree[K]) LookupP(v K, search simd.Search, ev bitmask.Evaluator) (rank int, found bool) {
+	return t.LookupPT(v, search, ev, nil)
+}
+
+// LookupT is Lookup with per-level trace recording into tr (nil records
+// nothing).
+func (t *Tree[K]) LookupT(v K, ev bitmask.Evaluator, tr *trace.Trace) (rank int, found bool) {
+	return t.LookupPT(v, simd.NewSearch(int(t.w), (uint64(v)^t.obias)&t.lmask), ev, tr)
+}
+
+// LookupPT is LookupP with per-level trace recording into tr (nil records
+// nothing and costs one pointer comparison per level).
+func (t *Tree[K]) LookupPT(v K, search simd.Search, ev bitmask.Evaluator, tr *trace.Trace) (rank int, found bool) {
 	obs.NodeVisits(1)
 	if t.n == 0 {
+		if tr != nil {
+			tr.FastPath("empty-node", 0)
+		}
 		return 0, false
 	}
 	if v >= t.smax {
 		// S_max is always a real key; larger keys cannot be present.
+		if tr != nil {
+			tr.FastPath("smax-short-circuit", t.n)
+		}
 		return t.n, v == t.smax
 	}
 	obs.LevelsDescended(t.r)
@@ -137,15 +207,21 @@ func (t *Tree[K]) LookupP(v K, search simd.Search, ev bitmask.Evaluator) (rank i
 		subSize := pow(k, t.r) - 1
 		pLevel := 0
 		keyIdx := 0
-		for subSize > 0 {
+		for R := 0; subSize > 0; R++ {
 			pLevel *= k
 			subSize = (subSize - lanes) / k
 			if keyIdx >= t.stored {
+				if tr != nil {
+					tr.Skip(R, "pad-region")
+				}
 				continue
 			}
 			mask, eq := search.GtMaskEq(data[keyIdx*w:])
 			found = found || eq
 			position := evaluate(ev, mask, w)
+			if tr != nil {
+				tr.SIMD(R, w, t.laneStrings(keyIdx), mask, eq, position)
+			}
 			keyIdx += lanes + subSize*position
 			pLevel += position
 		}
@@ -156,18 +232,31 @@ func (t *Tree[K]) LookupP(v K, search simd.Search, ev bitmask.Evaluator) (rank i
 	base := 0
 	lvlCnt := 1
 	for R := 0; R < t.r-1; R++ {
-		mask, eq := search.GtMaskEq(data[(base+pLevel*lanes)*w:])
+		keyIdx := base + pLevel*lanes
+		mask, eq := search.GtMaskEq(data[keyIdx*w:])
 		found = found || eq
-		pLevel = pLevel*k + evaluate(ev, mask, w)
+		pos := evaluate(ev, mask, w)
+		if tr != nil {
+			tr.SIMD(R, w, t.laneStrings(keyIdx), mask, eq, pos)
+		}
+		pLevel = pLevel*k + pos
 		base += lvlCnt * lanes
 		lvlCnt *= k
 	}
 	if pLevel >= t.m {
+		if tr != nil {
+			tr.Skip(t.r-1, "missing-leaf-node")
+		}
 		return clamp(pLevel+t.m*lanes, t.n), found
 	}
-	mask, eq := search.GtMaskEq(data[(base+pLevel*lanes)*w:])
+	keyIdx := base + pLevel*lanes
+	mask, eq := search.GtMaskEq(data[keyIdx*w:])
 	found = found || eq
-	return clamp(pLevel*k+evaluate(ev, mask, w), t.n), found
+	pos := evaluate(ev, mask, w)
+	if tr != nil {
+		tr.SIMD(t.r-1, w, t.laneStrings(keyIdx), mask, eq, pos)
+	}
+	return clamp(pLevel*k+pos, t.n), found
 }
 
 func clamp(x, hi int) int {
@@ -248,8 +337,14 @@ func firstSetLane(mask uint16, width int) int {
 // UpperBound is the baseline the paper compares against: classic binary
 // search returning the index of the first element strictly greater than v.
 func UpperBound[K keys.Key](xs []K, v K) int {
+	pos, _ := UpperBoundCount(xs, v)
+	return pos
+}
+
+// UpperBoundCount is UpperBound additionally reporting the number of
+// comparison steps the binary search took, for per-operation tracing.
+func UpperBoundCount[K keys.Key](xs []K, v K) (pos, steps int) {
 	lo, hi := 0, len(xs)
-	steps := 0
 	for lo < hi {
 		steps++
 		mid := int(uint(lo+hi) >> 1)
@@ -260,7 +355,7 @@ func UpperBound[K keys.Key](xs []K, v K) int {
 		}
 	}
 	obs.ScalarComparisons(steps)
-	return lo
+	return lo, steps
 }
 
 // SequentialUpperBound is the sequential scan strategy mentioned among the

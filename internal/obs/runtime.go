@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// This file bridges the Go runtime's own metrics (runtime/metrics) into
+// the same Prometheus text format as the cost-model counters, so one
+// /metrics endpoint carries both the paper's algorithmic quantities and
+// the runtime context they execute in — heap size, GC activity and
+// scheduler latency. Only a fixed, curated subset is exported; a metric
+// missing from the running Go version is skipped, not an error.
+
+// runtimeMetric maps one runtime/metrics sample onto a Prometheus series.
+type runtimeMetric struct {
+	source string // runtime/metrics name
+	suffix string // Prometheus name suffix appended to the caller's prefix
+	kind   string // "gauge" or "counter"; histograms render as histograms
+	help   string
+}
+
+var runtimeTable = []runtimeMetric{
+	{"/memory/classes/heap/objects:bytes", "heap_objects_bytes", "gauge",
+		"bytes occupied by live and unswept heap objects"},
+	{"/memory/classes/total:bytes", "memory_total_bytes", "gauge",
+		"total bytes mapped by the Go runtime"},
+	{"/sched/goroutines:goroutines", "goroutines", "gauge",
+		"count of live goroutines"},
+	{"/gc/cycles/total:gc-cycles", "gc_cycles_total", "counter",
+		"completed GC cycles"},
+	{"/gc/heap/allocs:bytes", "heap_allocs_bytes_total", "counter",
+		"cumulative bytes allocated on the heap"},
+	{"/sched/pauses/total/gc:seconds", "gc_pause_seconds", "histogram",
+		"distribution of stop-the-world GC pause latencies"},
+	{"/sched/latencies:seconds", "sched_latency_seconds", "histogram",
+		"distribution of goroutine scheduling latencies"},
+}
+
+// WriteRuntimeProm samples the curated runtime metrics and renders them
+// under the given name prefix (e.g. prefix "segserve_go" yields
+// segserve_go_heap_objects_bytes, ...).
+func WriteRuntimeProm(w io.Writer, prefix string) error {
+	samples := make([]metrics.Sample, len(runtimeTable))
+	for i, m := range runtimeTable {
+		samples[i].Name = m.source
+	}
+	metrics.Read(samples)
+	for i, m := range runtimeTable {
+		name := m.suffix
+		if prefix != "" {
+			name = prefix + "_" + name
+		}
+		name = promName(name)
+		v := samples[i].Value
+		var err error
+		switch v.Kind() {
+		case metrics.KindUint64:
+			err = writeRuntimeScalar(w, name, m.kind, m.help, fmt.Sprintf("%d", v.Uint64()))
+		case metrics.KindFloat64:
+			err = writeRuntimeScalar(w, name, m.kind, m.help, formatFloat(v.Float64()))
+		case metrics.KindFloat64Histogram:
+			err = writeRuntimeHistogram(w, name, m.help, v.Float64Histogram())
+		default:
+			// KindBad: the metric does not exist in this runtime; skip.
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeRuntimeScalar(w io.Writer, name, kind, help, value string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", name, value)
+	return err
+}
+
+// writeRuntimeHistogram renders a runtime Float64Histogram as a
+// cumulative Prometheus histogram. Bucket i of the runtime form covers
+// [Buckets[i], Buckets[i+1]), so le is the upper bound; buckets after the
+// last populated one are folded into +Inf. The runtime does not track the
+// exact sum, so _sum is approximated from bucket midpoints (lower bound
+// against +Inf, upper bound against -Inf).
+func writeRuntimeHistogram(w io.Writer, name, help string, h *metrics.Float64Histogram) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	hi := -1
+	var total uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		hi = i
+		total += c
+		sum += float64(c) * bucketMid(h.Buckets[i], h.Buckets[i+1])
+	}
+	var cum uint64
+	for i := 0; i <= hi; i++ {
+		cum += h.Counts[i]
+		ub := h.Buckets[i+1]
+		if math.IsInf(ub, 1) {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, total)
+	return err
+}
+
+// bucketMid estimates a representative value for a histogram bucket.
+func bucketMid(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bitmask"
 	"repro/internal/kary"
 	"repro/internal/keys"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Seg-Tree.
@@ -138,6 +139,35 @@ func (t *Tree[K, V]) Get(key K) (v V, ok bool) {
 		n = n.children[n.kt.SearchP(key, search, ev)]
 	}
 	i, found := n.kt.LookupP(key, search, ev)
+	if found {
+		return n.vals[i-1], true
+	}
+	return v, false
+}
+
+// GetTraced is Get additionally recording the descent into tr: one node
+// step per B+-Tree level with the node's layout, the per-level SIMD
+// compares of its k-ary search (loaded lanes, movemask, verdict) and the
+// branch taken. A nil tr makes it exactly Get — the kernels are shared.
+func (t *Tree[K, V]) GetTraced(key K, tr *trace.Trace) (v V, ok bool) {
+	if tr == nil {
+		return t.Get(key)
+	}
+	tr.SetStructure("segtree")
+	layout := t.cfg.Layout.String()
+	ev := t.cfg.Evaluator
+	search := kary.Prepare(key)
+	n := t.root
+	depth := 0
+	for !n.leaf() {
+		tr.Node(depth, n.kt.Len(), layout, "branch")
+		i := n.kt.SearchPT(key, search, ev, tr)
+		tr.Branch(i)
+		n = n.children[i]
+		depth++
+	}
+	tr.Node(depth, n.kt.Len(), layout, "leaf")
+	i, found := n.kt.LookupPT(key, search, ev, tr)
 	if found {
 		return n.vals[i-1], true
 	}

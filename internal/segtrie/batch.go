@@ -39,14 +39,14 @@ func (t *Trie[K, V]) GetBatch(ks []K) ([]V, []bool) {
 	return index.LevelWise[K, V](ks, trieCur[V]{t.root, 0},
 		func(c trieCur[V]) bool { return int(c.level) == last },
 		func(c trieCur[V], i int) trieCur[V] {
-			idx, hit := t.find(c.n, t.segment(us[i], int(c.level)))
+			idx, hit := t.find(c.n, t.segment(us[i], int(c.level)), nil)
 			if !hit {
 				return trieCur[V]{}
 			}
 			return trieCur[V]{c.n.children[idx], c.level + 1}
 		},
 		func(c trieCur[V], i int) (v V, ok bool) {
-			if idx, hit := t.find(c.n, t.segment(us[i], last)); hit {
+			if idx, hit := t.find(c.n, t.segment(us[i], last), nil); hit {
 				return c.n.vals[idx], true
 			}
 			return v, false
@@ -110,7 +110,7 @@ func (t *Optimized[K, V]) GetBatch(ks []K) ([]V, []bool) {
 			if !ok {
 				return optCur[V]{}
 			}
-			idx, hit := t.find(c.n, t.segment(us[i], level))
+			idx, hit := t.find(c.n, t.segment(us[i], level), nil)
 			if !hit {
 				return optCur[V]{}
 			}
@@ -121,7 +121,7 @@ func (t *Optimized[K, V]) GetBatch(ks []K) ([]V, []bool) {
 			if !match {
 				return v, false
 			}
-			if idx, hit := t.find(c.n, t.segment(us[i], level)); hit {
+			if idx, hit := t.find(c.n, t.segment(us[i], level), nil); hit {
 				return c.n.vals[idx], true
 			}
 			return v, false

@@ -4,6 +4,7 @@ import (
 	"repro/internal/kary"
 	"repro/internal/keys"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Optimized is the paper's optimized Seg-Trie (§4, last paragraphs): tree
@@ -59,13 +60,16 @@ func (t *Optimized[K, V]) segment(u uint64, level int) uint8 {
 }
 
 // find mirrors Trie.find: single-key and full nodes take the §4 fast
-// paths.
-func (t *Optimized[K, V]) find(n *onode[V], pk uint8) (idx int, ok bool) {
+// paths. tr, when non-nil, records the step taken.
+func (t *Optimized[K, V]) find(n *onode[V], pk uint8, tr *trace.Trace) (idx int, ok bool) {
 	// As in Trie.find, only the fast paths record the visit themselves;
 	// the k-ary path is counted inside kt.Lookup.
 	switch n.kt.Len() {
 	case 0:
 		obs.NodeVisits(1)
+		if tr != nil {
+			tr.FastPath("empty-node", 0)
+		}
 		return 0, false
 	case 1:
 		// A single-key node holds exactly its maximum.
@@ -74,18 +78,26 @@ func (t *Optimized[K, V]) find(n *onode[V], pk uint8) (idx int, ok bool) {
 		at, _ := n.kt.Max()
 		switch {
 		case at == pk:
-			return 0, true
+			idx, ok = 0, true
 		case at > pk:
-			return 0, false
+			idx, ok = 0, false
 		default:
-			return 1, false
+			idx, ok = 1, false
 		}
+		if tr != nil {
+			tr.Add(trace.Step{Kind: trace.KindFastPath, Depth: tr.Depth(),
+				Note: "single-key", Position: idx, Scalar: 1})
+		}
+		return idx, ok
 	case 256:
 		// Full node: direct index, zero comparisons of any kind (§4).
 		obs.NodeVisits(1)
+		if tr != nil {
+			tr.FastPath("full-node", int(pk))
+		}
 		return int(pk), true
 	}
-	pos, found := n.kt.Lookup(pk, t.cfg.Evaluator)
+	pos, found := n.kt.LookupT(pk, t.cfg.Evaluator, tr)
 	if found {
 		return pos - 1, true
 	}
@@ -107,13 +119,60 @@ func (t *Optimized[K, V]) Get(key K) (v V, ok bool) {
 			}
 			level++
 		}
-		idx, hit := t.find(n, t.segment(u, level))
+		idx, hit := t.find(n, t.segment(u, level), nil)
 		if !hit {
 			return v, false
 		}
 		if n.last() {
 			return n.vals[idx], true
 		}
+		n = n.children[idx]
+		level++
+	}
+}
+
+// GetTraced is Get additionally recording the descent into tr: the
+// compressed-prefix byte comparisons of each node (lazy expansion, §4),
+// the segment byte and node of every materialized level, the fast path or
+// SIMD compares resolving it, and the branch taken. A nil tr makes it
+// exactly Get — the kernels are shared.
+func (t *Optimized[K, V]) GetTraced(key K, tr *trace.Trace) (v V, ok bool) {
+	if tr == nil {
+		return t.Get(key)
+	}
+	tr.SetStructure("opt-segtrie")
+	if t.root == nil {
+		tr.FastPath("empty-trie", 0)
+		return v, false
+	}
+	layout := t.cfg.Layout.String()
+	u := keys.OrderedBits(key)
+	n := t.root
+	level := 0
+	for {
+		matched := 0
+		for _, p := range n.prefix {
+			if t.segment(u, level) != p {
+				tr.PrefixSkip(level-matched, matched, false)
+				return v, false
+			}
+			matched++
+			level++
+		}
+		if matched > 0 {
+			tr.PrefixSkip(level-matched, matched, true)
+		}
+		pk := t.segment(u, level)
+		tr.Segment(level, pk)
+		tr.Node(level, n.kt.Len(), layout, "trie")
+		idx, hit := t.find(n, pk, tr)
+		if !hit {
+			return v, false
+		}
+		if n.last() {
+			return n.vals[idx], true
+		}
+		tr.Branch(idx)
 		n = n.children[idx]
 		level++
 	}
@@ -180,7 +239,7 @@ func (t *Optimized[K, V]) Put(key K, val V) bool {
 			return true
 		}
 		pk := t.segment(u, level)
-		idx, hit := t.find(n, pk)
+		idx, hit := t.find(n, pk, nil)
 		if hit {
 			if n.last() {
 				n.vals[idx] = val
@@ -225,7 +284,7 @@ func (t *Optimized[K, V]) Delete(key K) bool {
 			}
 			level++
 		}
-		idx, hit := t.find(n, t.segment(u, level))
+		idx, hit := t.find(n, t.segment(u, level), nil)
 		if !hit {
 			return false
 		}

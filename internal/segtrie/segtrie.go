@@ -23,6 +23,7 @@ import (
 	"repro/internal/kary"
 	"repro/internal/keys"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Seg-Trie.
@@ -91,16 +92,19 @@ func (t *Trie[K, V]) segment(u uint64, level int) uint8 {
 	return uint8(u >> (8 * uint(t.levels-1-level)))
 }
 
-// find locates pk inside n. On a hit, idx is the position of pk's child or
-// value; on a miss, idx is the insertion position. It applies the §4 fast
-// paths: a single-key node is compared directly and a full node is indexed
-// without any search.
-func (t *Trie[K, V]) find(n *node[V], pk uint8) (idx int, ok bool) {
+// find locates pk inside n, recording into tr when non-nil. On a hit,
+// idx is the position of pk's child or value; on a miss, idx is the
+// insertion position. It applies the §4 fast paths: a single-key node is
+// compared directly and a full node is indexed without any search.
+func (t *Trie[K, V]) find(n *node[V], pk uint8, tr *trace.Trace) (idx int, ok bool) {
 	// The general path's node visit is counted inside kt.Lookup; the fast
 	// paths below bypass the k-ary search, so they record the visit here.
 	switch n.kt.Len() {
 	case 0:
 		obs.NodeVisits(1)
+		if tr != nil {
+			tr.FastPath("empty-node", 0)
+		}
 		return 0, false
 	case 1:
 		// A single-key node holds exactly its maximum.
@@ -109,18 +113,26 @@ func (t *Trie[K, V]) find(n *node[V], pk uint8) (idx int, ok bool) {
 		at, _ := n.kt.Max()
 		switch {
 		case at == pk:
-			return 0, true
+			idx, ok = 0, true
 		case at > pk:
-			return 0, false
+			idx, ok = 0, false
 		default:
-			return 1, false
+			idx, ok = 1, false
 		}
+		if tr != nil {
+			tr.Add(trace.Step{Kind: trace.KindFastPath, Depth: tr.Depth(),
+				Note: "single-key", Position: idx, Scalar: 1})
+		}
+		return idx, ok
 	case 256:
 		// Full node: direct index, zero comparisons of any kind (§4).
 		obs.NodeVisits(1)
+		if tr != nil {
+			tr.FastPath("full-node", int(pk))
+		}
 		return int(pk), true
 	}
-	pos, found := n.kt.Lookup(pk, t.cfg.Evaluator)
+	pos, found := n.kt.LookupT(pk, t.cfg.Evaluator, tr)
 	if found {
 		return pos - 1, true
 	}
@@ -134,13 +146,41 @@ func (t *Trie[K, V]) Get(key K) (v V, ok bool) {
 	u := keys.OrderedBits(key)
 	n := t.root
 	for level := 0; ; level++ {
-		idx, hit := t.find(n, t.segment(u, level))
+		idx, hit := t.find(n, t.segment(u, level), nil)
 		if !hit {
 			return v, false
 		}
 		if level == t.levels-1 {
 			return n.vals[idx], true
 		}
+		n = n.children[idx]
+	}
+}
+
+// GetTraced is Get additionally recording the descent into tr: per trie
+// level the extracted segment byte, the node entered, the fast path taken
+// or the two SIMD compares of its 17-ary search, and the branch followed.
+// A nil tr makes it exactly Get — the kernels are shared.
+func (t *Trie[K, V]) GetTraced(key K, tr *trace.Trace) (v V, ok bool) {
+	if tr == nil {
+		return t.Get(key)
+	}
+	tr.SetStructure("segtrie")
+	layout := t.cfg.Layout.String()
+	u := keys.OrderedBits(key)
+	n := t.root
+	for level := 0; ; level++ {
+		pk := t.segment(u, level)
+		tr.Segment(level, pk)
+		tr.Node(level, n.kt.Len(), layout, "trie")
+		idx, hit := t.find(n, pk, tr)
+		if !hit {
+			return v, false
+		}
+		if level == t.levels-1 {
+			return n.vals[idx], true
+		}
+		tr.Branch(idx)
 		n = n.children[idx]
 	}
 }
@@ -158,7 +198,7 @@ func (t *Trie[K, V]) Put(key K, val V) bool {
 	n := t.root
 	for level := 0; ; level++ {
 		pk := t.segment(u, level)
-		idx, hit := t.find(n, pk)
+		idx, hit := t.find(n, pk, nil)
 		last := level == t.levels-1
 		if hit {
 			if last {
@@ -198,7 +238,7 @@ func (t *Trie[K, V]) Delete(key K) bool {
 	n := t.root
 	for level := 0; ; level++ {
 		pk := t.segment(u, level)
-		idx, hit := t.find(n, pk)
+		idx, hit := t.find(n, pk, nil)
 		if !hit {
 			return false
 		}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the trace as an indented, human-readable descent — the
+// EXPLAIN ANALYZE view of one search. One line per step, grouped under
+// the node lines by indentation.
+func (t *Trace) String() string {
+	if t == nil {
+		return "<nil trace>"
+	}
+	var b strings.Builder
+	outcome := "miss"
+	if t.Found {
+		outcome = "hit"
+	}
+	fmt.Fprintf(&b, "%s key=%s structure=%s %s duration=%v\n",
+		t.Op, t.Key, t.Structure, outcome, t.Duration)
+	fmt.Fprintf(&b, "  totals: nodes=%d simd=%d masks=%d scalar=%d steps=%d\n",
+		t.NodeVisits(), t.SIMDComparisons(), t.MaskEvaluations(),
+		t.ScalarComparisons(), len(t.Steps))
+	for i := range t.Steps {
+		b.WriteString(t.Steps[i].line())
+		b.WriteByte('\n')
+	}
+	if t.Truncated {
+		fmt.Fprintf(&b, "  ... truncated at %d steps\n", MaxSteps)
+	}
+	return b.String()
+}
+
+// line renders one step.
+func (s *Step) line() string {
+	switch s.Kind {
+	case KindNode:
+		l := fmt.Sprintf("  [d%d] node: %d keys", s.Depth, s.Keys)
+		if s.Layout != "" {
+			l += ", " + s.Layout + " layout"
+		}
+		if s.Note != "" {
+			l += " (" + s.Note + ")"
+		}
+		return l
+	case KindSIMD:
+		eq := ""
+		if s.Eq {
+			eq = "  eq-hit"
+		}
+		return fmt.Sprintf("  [d%d]   L%d: load %v  mask=%#04x  position=%d%s",
+			s.Depth, s.Level, s.Loaded, s.Mask, s.Position, eq)
+	case KindScalar:
+		return fmt.Sprintf("  [d%d]   binary search: %d compares  position=%d",
+			s.Depth, s.Scalar, s.Position)
+	case KindBranch:
+		return fmt.Sprintf("  [d%d]   branch -> child %d", s.Depth, s.Position)
+	case KindSegment:
+		return fmt.Sprintf("  [d%d] segment byte %#02x", s.Depth, s.Segment)
+	case KindPrefixSkip:
+		return fmt.Sprintf("  [d%d] %s: %d omitted levels compared",
+			s.Depth, s.Note, s.Position)
+	case KindFastPath:
+		if s.Note == "pad-region" {
+			return fmt.Sprintf("  [d%d]   L%d: pad region, no load, digit 0", s.Depth, s.Level)
+		}
+		return fmt.Sprintf("  [d%d]   fast path %s  position=%d%s",
+			s.Depth, s.Note, s.Position, scalarSuffix(s.Scalar))
+	case KindShard:
+		return fmt.Sprintf("  shard -> %d", s.Position)
+	case KindProbe:
+		return fmt.Sprintf("  probe @%d: load %v  mask=%#04x  position=%d",
+			s.Level, s.Loaded, s.Mask, s.Position)
+	default:
+		return fmt.Sprintf("  [d%d] %s position=%d", s.Depth, s.Kind, s.Position)
+	}
+}
+
+func scalarSuffix(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  (%d scalar cmp)", n)
+}

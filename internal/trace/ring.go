@@ -1,0 +1,54 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a lock-free fixed-capacity ring buffer of completed traces.
+// Writers claim a slot with one atomic increment and store a pointer;
+// readers snapshot without blocking writers. A reader racing a wrapping
+// writer may observe a slot mid-overwrite as either the old or the new
+// trace — both are complete traces, so the snapshot is always
+// well-formed, merely approximate about which N traces are "the latest".
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	mask  uint64
+	seq   atomic.Uint64
+}
+
+// NewRing returns a ring holding the most recent capacity traces,
+// rounded up to a power of two (minimum 1).
+func NewRing(capacity int) *Ring {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], c), mask: uint64(c - 1)}
+}
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Total reports how many traces were ever added, including overwritten
+// ones.
+func (r *Ring) Total() uint64 { return r.seq.Load() }
+
+// Add stores t, overwriting the oldest entry once the ring is full.
+func (r *Ring) Add(t *Trace) {
+	i := r.seq.Add(1) - 1
+	r.slots[i&r.mask].Store(t)
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Ring) Snapshot() []*Trace {
+	seq := r.seq.Load()
+	n := uint64(len(r.slots))
+	if seq < n {
+		n = seq
+	}
+	out := make([]*Trace, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if t := r.slots[(seq-1-i)&r.mask].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

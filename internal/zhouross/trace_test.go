@@ -1,0 +1,70 @@
+package zhouross
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTracedSearchesMatchUntraced pins that the traced strategies return
+// exactly what the untraced ones do and record at least one probe (or
+// fast path) per search.
+func TestTracedSearchesMatchUntraced(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 16, 100, 1000} {
+		sorted := make([]uint32, n)
+		for i := range sorted {
+			sorted[i] = uint32(i*3 + 1)
+		}
+		l := New(sorted)
+		for probe := uint32(0); probe < uint32(n*3+5); probe += 2 {
+			for _, tc := range []struct {
+				name     string
+				untraced func(uint32) int
+				traced   func(uint32, *trace.Trace) int
+			}{
+				{"sequential", l.SequentialSearch, l.SequentialSearchTraced},
+				{"binary", l.BinarySearch, l.BinarySearchTraced},
+				{"hybrid", l.HybridSearch, l.HybridSearchTraced},
+			} {
+				tr := trace.New("search", fmt.Sprint(probe))
+				got := tc.traced(probe, tr)
+				if want := tc.untraced(probe); got != want {
+					t.Fatalf("n=%d %s(%d) traced %d, untraced %d", n, tc.name, probe, got, want)
+				}
+				if len(tr.Steps) == 0 {
+					t.Fatalf("n=%d %s(%d): no steps recorded", n, tc.name, probe)
+				}
+				if tr.Structure == "" {
+					t.Fatalf("n=%d %s: structure not set", n, tc.name)
+				}
+			}
+		}
+	}
+}
+
+// TestTracedProbesCarryEvidence checks a sequential trace's probes walk
+// consecutive register offsets with the loaded lanes attached.
+func TestTracedProbesCarryEvidence(t *testing.T) {
+	sorted := make([]uint32, 64)
+	for i := range sorted {
+		sorted[i] = uint32(i + 1)
+	}
+	l := New(sorted)
+	tr := trace.New("search", "30")
+	l.SequentialSearchTraced(30, tr)
+	if len(tr.Steps) < 2 {
+		t.Fatalf("expected several probes, got %d steps", len(tr.Steps))
+	}
+	for i, s := range tr.Steps {
+		if s.Kind != trace.KindProbe {
+			t.Fatalf("step %d kind %v, want probe", i, s.Kind)
+		}
+		if s.Level != i*l.lanes {
+			t.Fatalf("probe %d at offset %d, want %d", i, s.Level, i*l.lanes)
+		}
+		if len(s.Loaded) != l.lanes {
+			t.Fatalf("probe %d loaded %d lanes, want %d", i, len(s.Loaded), l.lanes)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/kary"
 	"repro/internal/keys"
 	"repro/internal/simd"
+	"repro/internal/trace"
 )
 
 // List is a plain sorted key list augmented with the packed lane form the
@@ -89,22 +90,63 @@ func (l *List[K]) prepare(v K) simd.Search {
 	return simd.NewSearch(l.w, (uint64(v)^l.obias)&l.lmask)
 }
 
+// laneStrings renders the register loaded at packed index off for a trace
+// step.
+func (l *List[K]) laneStrings(off int) []string {
+	out := make([]string, l.lanes)
+	for i := range out {
+		out[i] = fmt.Sprint(keys.GetAt[K](l.packed, off+i))
+	}
+	return out
+}
+
+// probe records one register probe: the switch point within the register
+// when the mask has one, or the full lane count when every key was ≤ v.
+func (l *List[K]) probe(tr *trace.Trace, off int, mask uint16) {
+	if tr == nil {
+		return
+	}
+	pos := l.lanes
+	if mask != 0 {
+		pos = bitmask.PopcountEval(mask, l.w)
+	}
+	tr.Probe(off, l.w, l.laneStrings(off), mask, pos)
+}
+
 // SequentialSearch is the Zhou-Ross full-bandwidth sequential scan: it
 // compares one register worth of keys at a time from the start and stops
 // at the first register containing a greater key. It returns the index of
 // the first key greater than v.
 func (l *List[K]) SequentialSearch(v K) int {
+	return l.sequentialSearch(v, nil)
+}
+
+// SequentialSearchTraced is SequentialSearch recording every register
+// probe into tr. A nil tr makes it exactly SequentialSearch.
+func (l *List[K]) SequentialSearchTraced(v K, tr *trace.Trace) int {
+	tr.SetStructure("zhouross-seq")
+	return l.sequentialSearch(v, tr)
+}
+
+func (l *List[K]) sequentialSearch(v K, tr *trace.Trace) int {
 	n := len(l.keys)
 	if n == 0 {
+		if tr != nil {
+			tr.FastPath("empty-list", 0)
+		}
 		return 0
 	}
 	if v >= l.keys[n-1] {
+		if tr != nil {
+			tr.FastPath("max-short-circuit", n)
+		}
 		return n
 	}
 	search := l.prepare(v)
 	step := l.lanes
 	for off := 0; ; off += step {
 		mask := search.GtMask(l.packed[off*l.w:])
+		l.probe(tr, off, mask)
 		if mask != 0 {
 			pos := off + bitmask.PopcountEval(mask, l.w)
 			if pos > n {
@@ -120,11 +162,28 @@ func (l *List[K]) SequentialSearch(v K) int {
 // shrinks by the register width rather than a single element per step,
 // and the final register resolves the position without a scalar tail.
 func (l *List[K]) BinarySearch(v K) int {
+	return l.binarySearch(v, nil)
+}
+
+// BinarySearchTraced is BinarySearch recording every register probe into
+// tr. A nil tr makes it exactly BinarySearch.
+func (l *List[K]) BinarySearchTraced(v K, tr *trace.Trace) int {
+	tr.SetStructure("zhouross-bin")
+	return l.binarySearch(v, tr)
+}
+
+func (l *List[K]) binarySearch(v K, tr *trace.Trace) int {
 	n := len(l.keys)
 	if n == 0 {
+		if tr != nil {
+			tr.FastPath("empty-list", 0)
+		}
 		return 0
 	}
 	if v >= l.keys[n-1] {
+		if tr != nil {
+			tr.FastPath("max-short-circuit", n)
+		}
 		return n
 	}
 	search := l.prepare(v)
@@ -133,6 +192,7 @@ func (l *List[K]) BinarySearch(v K) int {
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		mask := search.GtMask(l.packed[mid*step*l.w:])
+		l.probe(tr, mid*step, mask)
 		switch {
 		case mask == 0:
 			// Every key in the register is ≤ v.
@@ -159,12 +219,30 @@ func (l *List[K]) BinarySearch(v K) int {
 // HybridSearch is the Zhou-Ross combination: binary search over registers
 // until the range is small, then a sequential SIMD scan of the remainder.
 func (l *List[K]) HybridSearch(v K) int {
+	return l.hybridSearch(v, nil)
+}
+
+// HybridSearchTraced is HybridSearch recording every register probe into
+// tr — the trace shows the binary phase's jumps turning into the scan
+// phase's consecutive offsets. A nil tr makes it exactly HybridSearch.
+func (l *List[K]) HybridSearchTraced(v K, tr *trace.Trace) int {
+	tr.SetStructure("zhouross-hyb")
+	return l.hybridSearch(v, tr)
+}
+
+func (l *List[K]) hybridSearch(v K, tr *trace.Trace) int {
 	const crossover = 8 // registers; below this the scan wins
 	n := len(l.keys)
 	if n == 0 {
+		if tr != nil {
+			tr.FastPath("empty-list", 0)
+		}
 		return 0
 	}
 	if v >= l.keys[n-1] {
+		if tr != nil {
+			tr.FastPath("max-short-circuit", n)
+		}
 		return n
 	}
 	search := l.prepare(v)
@@ -173,6 +251,7 @@ func (l *List[K]) HybridSearch(v K) int {
 	for hi-lo > crossover {
 		mid := int(uint(lo+hi) >> 1)
 		mask := search.GtMask(l.packed[mid*step*l.w:])
+		l.probe(tr, mid*step, mask)
 		switch {
 		case mask == 0:
 			lo = mid + 1
@@ -191,6 +270,7 @@ func (l *List[K]) HybridSearch(v K) int {
 			break
 		}
 		mask := search.GtMask(l.packed[off*l.w:])
+		l.probe(tr, off, mask)
 		if mask != 0 {
 			pos := off + bitmask.PopcountEval(mask, l.w)
 			if pos > n {

@@ -1,0 +1,58 @@
+//go:build overheadgate
+
+package simdtree_test
+
+// Timing gate asserting the tracer's zero-cost-when-disabled claim: with
+// the sampler attached but idle (rate 0 — the production state between
+// samples), a Get must cost within 2% of the same instrumented wrapper
+// with no sampler at all. That isolates the tracing addition — one
+// atomic pointer load per Get — from the wrapper's own pre-existing
+// overhead, which observability_bench_test.go bounds separately at 5%
+// of the bare structure. Timing assertions flake under load, so this
+// runs only with the overheadgate build tag — from `make bench`, never
+// in tier-1:
+//
+//	go test -tags overheadgate -run '^TestTracerOffOverheadGate$' -count=1 .
+
+import (
+	"testing"
+
+	simdtree "repro"
+)
+
+const (
+	gateRuns     = 5   // best-of-N to shrug off scheduler noise
+	gateSlackPct = 2.0 // the required <2% bound
+)
+
+func bestNsPerOp(f func(b *testing.B)) float64 {
+	best := 0.0
+	for i := 0; i < gateRuns; i++ {
+		r := testing.Benchmark(f)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func TestTracerOffOverheadGate(t *testing.T) {
+	probes := traceBenchProbes()
+	bare := traceBenchTree()
+	noSampler := simdtree.WrapInstrumented(traceBenchTree(), false)
+	samplerOff := simdtree.WrapInstrumented(traceBenchTree(), false)
+	samplerOff.EnableSampling(0, 0) // attached but idle
+
+	bareNs := bestNsPerOp(func(b *testing.B) { runTraceBench(b, bare, probes) })
+	baseNs := bestNsPerOp(func(b *testing.B) { runTraceBench(b, noSampler, probes) })
+	offNs := bestNsPerOp(func(b *testing.B) { runTraceBench(b, samplerOff, probes) })
+
+	overhead := (offNs - baseNs) / baseNs * 100
+	t.Logf("bare %.1f ns/op, instrumented %.1f ns/op, instrumented+sampler-off %.1f ns/op, tracer overhead %+.2f%%",
+		bareNs, baseNs, offNs, overhead)
+	if overhead > gateSlackPct {
+		t.Fatalf("tracer-off overhead %.2f%% exceeds %.1f%% (no sampler %.1f ns/op, sampler off %.1f ns/op)",
+			overhead, gateSlackPct, baseNs, offNs)
+	}
+}
