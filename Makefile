@@ -3,6 +3,9 @@
 #   make check       - vet + build + race-enabled tests + fuzz smoke
 #   make test        - plain test run (tier-1 gate)
 #   make bench       - segbench JSON + tracer-off overhead gate (<2%)
+#   make bench-diff  - compare BENCH_segbench.json against the committed
+#                      baseline; non-zero exit on ns/op or bytes/key regression
+#   make bench-baseline - re-measure and overwrite BENCH_baseline.json
 #   make fuzz        - 5 s smoke run of every fuzz target
 #   make fmt         - fail if any file is not gofmt-clean
 #   make staticcheck - staticcheck ./... (skips when the tool is absent)
@@ -23,7 +26,7 @@ FUZZ_TARGETS = \
 
 SERVE_ARGS ?= -structure opt-segtrie -shards 16 -preload 100000
 
-.PHONY: check vet fmt build test race fuzz bench staticcheck trace-demo serve clean
+.PHONY: check vet fmt build test race fuzz bench bench-diff bench-baseline staticcheck trace-demo serve clean
 
 check: vet fmt build race fuzz
 
@@ -54,6 +57,18 @@ bench:
 	$(GO) run ./cmd/segbench -json BENCH_segbench.json
 	$(GO) test -tags overheadgate -run '^TestTracerOffOverheadGate$$' -count=1 -v .
 
+# Regression gate on the measurement trajectory. Timings on shared
+# hardware are noisy, so the default thresholds are generous; footprint
+# metrics (bytes/key) are deterministic and gate tighter.
+bench-diff: BENCH_segbench.json
+	$(GO) run ./cmd/benchdiff -old BENCH_baseline.json -new BENCH_segbench.json
+
+BENCH_segbench.json:
+	$(GO) run ./cmd/segbench -json BENCH_segbench.json
+
+bench-baseline:
+	$(GO) run ./cmd/segbench -json BENCH_baseline.json
+
 # staticcheck is not vendored; install with
 #   go install honnef.co/go/tools/cmd/staticcheck@latest
 staticcheck:
@@ -73,5 +88,7 @@ trace-demo:
 serve:
 	$(GO) run ./cmd/segserve $(SERVE_ARGS)
 
+# BENCH_baseline.json is committed — the benchdiff reference — and must
+# survive a clean.
 clean:
-	rm -f BENCH_*.json
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_baseline.json' -delete

@@ -1,0 +1,209 @@
+// Command benchdiff compares two BENCH_*.json measurement files (the
+// machine-readable output of cmd/segbench) benchstat-style and gates
+// the performance trajectory: it exits non-zero when any timed metric
+// (ns/op) or footprint-density metric (bytes/key) regresses by more
+// than its threshold. Other metrics — raw bytes, ratios, counts — are
+// reported for context but never gate.
+//
+//	benchdiff -old BENCH_baseline.json -new BENCH_segbench.json
+//	benchdiff -old a.json -new b.json -ns-threshold 10 -bytes-threshold 5
+//	benchdiff -all -old a.json -new b.json     # print unchanged rows too
+//
+// Measurements pair up by (experiment, structure, class, metric, unit);
+// entries present in only one file are listed as added/removed and do
+// not gate. Exit status: 0 no regression, 1 regression over threshold,
+// 2 usage or read error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_*.json (required)")
+	newPath := flag.String("new", "", "candidate BENCH_*.json (required)")
+	nsThreshold := flag.Float64("ns-threshold", 25,
+		"fail on ns/op regressions above this percentage")
+	bytesThreshold := flag.Float64("bytes-threshold", 10,
+		"fail on bytes/key regressions above this percentage")
+	showAll := flag.Bool("all", false, "print every paired metric, not only changed ones")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: both -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldMs, err := readMeasurements(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newMs, err := readMeasurements(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	d := compare(oldMs, newMs, thresholds{NsPct: *nsThreshold, BytesPct: *bytesThreshold})
+	render(os.Stdout, d, *showAll)
+	if len(d.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) over threshold\n", len(d.Regressions))
+		os.Exit(1)
+	}
+}
+
+// readMeasurements loads one BENCH JSON array.
+func readMeasurements(path string) ([]bench.Measurement, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ms []bench.Measurement
+	if err := json.Unmarshal(raw, &ms); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ms, nil
+}
+
+// thresholds are the maximum tolerated regressions, in percent.
+type thresholds struct {
+	NsPct    float64 // ns/op metrics
+	BytesPct float64 // bytes/key metrics
+}
+
+// row is one paired metric in the diff.
+type row struct {
+	Key      string // experiment/structure/class/metric
+	Unit     string
+	Old, New float64
+	// DeltaPct is (new−old)/old × 100; +Inf when old is 0 and new is not.
+	DeltaPct float64
+	// Gated marks metrics whose unit participates in the regression gate.
+	Gated bool
+	// Regressed marks a gated row over its threshold.
+	Regressed bool
+}
+
+// diff is the full comparison result.
+type diff struct {
+	Rows        []row
+	Regressions []row
+	Removed     []string // keys only in the baseline
+	Added       []string // keys only in the candidate
+}
+
+// key pairs measurements across files. Unit is included so a metric
+// whose unit changed pairs as removed+added rather than as a bogus
+// delta.
+func key(m bench.Measurement) string {
+	return strings.Join([]string{m.Experiment, m.Structure, m.Class, m.Metric, m.Unit}, "/")
+}
+
+// gateThreshold returns the regression threshold for a unit, and
+// whether the unit gates at all. Both gated units are lower-is-better.
+func (t thresholds) gateThreshold(unit string) (float64, bool) {
+	switch unit {
+	case "ns/op":
+		return t.NsPct, true
+	case "bytes/key":
+		return t.BytesPct, true
+	default:
+		return 0, false
+	}
+}
+
+// compare pairs the two measurement sets and flags gated regressions.
+func compare(oldMs, newMs []bench.Measurement, t thresholds) diff {
+	oldBy := make(map[string]bench.Measurement, len(oldMs))
+	for _, m := range oldMs {
+		oldBy[key(m)] = m
+	}
+	var d diff
+	seen := make(map[string]bool, len(newMs))
+	for _, m := range newMs {
+		k := key(m)
+		seen[k] = true
+		om, ok := oldBy[k]
+		if !ok {
+			d.Added = append(d.Added, k)
+			continue
+		}
+		r := row{
+			Key:  strings.Join([]string{m.Experiment, m.Structure, m.Class, m.Metric}, "/"),
+			Unit: m.Unit, Old: om.Value, New: m.Value,
+		}
+		switch {
+		case om.Value != 0:
+			r.DeltaPct = (m.Value - om.Value) / om.Value * 100
+		case m.Value != 0:
+			r.DeltaPct = math.Inf(1)
+		}
+		if th, gated := t.gateThreshold(m.Unit); gated {
+			r.Gated = true
+			r.Regressed = r.DeltaPct > th
+		}
+		d.Rows = append(d.Rows, r)
+		if r.Regressed {
+			d.Regressions = append(d.Regressions, r)
+		}
+	}
+	for _, m := range oldMs {
+		if !seen[key(m)] {
+			d.Removed = append(d.Removed, key(m))
+		}
+	}
+	sort.Slice(d.Rows, func(i, j int) bool { return d.Rows[i].Key < d.Rows[j].Key })
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	return d
+}
+
+// render prints the benchstat-style table: changed gated rows always,
+// everything else behind -all, then the regression summary.
+func render(w *os.File, d diff, showAll bool) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\tunit\told\tnew\tdelta\t")
+	printed := 0
+	for _, r := range d.Rows {
+		if !showAll && !r.Gated {
+			continue
+		}
+		mark := ""
+		if r.Regressed {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%+.2f%%%s\t\n",
+			r.Key, r.Unit, formatValue(r.Old), formatValue(r.New), r.DeltaPct, mark)
+		printed++
+	}
+	tw.Flush()
+	if printed == 0 {
+		fmt.Fprintln(w, "(no paired gated metrics)")
+	}
+	for _, k := range d.Removed {
+		fmt.Fprintf(w, "removed: %s\n", k)
+	}
+	for _, k := range d.Added {
+		fmt.Fprintf(w, "added:   %s\n", k)
+	}
+	fmt.Fprintf(w, "%d metrics compared, %d regression(s)\n", len(d.Rows), len(d.Regressions))
+}
+
+// formatValue renders a measurement value compactly: integers without a
+// fraction, everything else with two decimals.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func load(t *testing.T, path string) []bench.Measurement {
+	t.Helper()
+	ms, err := readMeasurements(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+var defaults = thresholds{NsPct: 25, BytesPct: 10}
+
+func TestCompareFlagsInjectedRegressions(t *testing.T) {
+	d := compare(load(t, "testdata/old.json"), load(t, "testdata/new-regressed.json"), defaults)
+
+	// segtree search 100→150 ns/op (+50%) and bytes-per-key 40→46 (+15%)
+	// are over threshold; btree 200→210 (+5%) is under; the ratio drop and
+	// the raw-bytes doubling are not gated units; zhouross removed,
+	// opt-segtrie added.
+	if len(d.Regressions) != 2 {
+		t.Fatalf("regressions = %d, want 2: %+v", len(d.Regressions), d.Regressions)
+	}
+	byKey := make(map[string]row)
+	for _, r := range d.Regressions {
+		byKey[r.Key] = r
+	}
+	if r, ok := byKey["hits/segtree/5 MB/search"]; !ok || math.Abs(r.DeltaPct-50) > 1e-9 {
+		t.Errorf("segtree ns/op regression missing or wrong delta: %+v", r)
+	}
+	if r, ok := byKey["memory/Seg-Trie/shape/bytes-per-key"]; !ok || math.Abs(r.DeltaPct-15) > 1e-9 {
+		t.Errorf("bytes-per-key regression missing or wrong delta: %+v", r)
+	}
+	if len(d.Removed) != 1 || len(d.Added) != 1 {
+		t.Errorf("removed/added = %v / %v, want one each", d.Removed, d.Added)
+	}
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	d := compare(load(t, "testdata/old.json"), load(t, "testdata/new-clean.json"), defaults)
+	if len(d.Regressions) != 0 {
+		t.Fatalf("clean run reported regressions: %+v", d.Regressions)
+	}
+	// zhouross 50→55 is +10%, under the 25% default — but a tighter
+	// threshold must catch it.
+	strict := compare(load(t, "testdata/old.json"), load(t, "testdata/new-clean.json"),
+		thresholds{NsPct: 5, BytesPct: 10})
+	if len(strict.Regressions) != 2 {
+		t.Fatalf("strict thresholds found %d regressions, want 2 (zhouross +10%%, btree +7.5%%): %+v",
+			len(strict.Regressions), strict.Regressions)
+	}
+}
+
+func TestCompareUngatedUnitsNeverRegress(t *testing.T) {
+	old := []bench.Measurement{
+		{Experiment: "e", Structure: "s", Metric: "m", Value: 1, Unit: "ratio"},
+		{Experiment: "e", Structure: "s", Metric: "f", Value: 10, Unit: "bytes"},
+	}
+	new_ := []bench.Measurement{
+		{Experiment: "e", Structure: "s", Metric: "m", Value: 100, Unit: "ratio"},
+		{Experiment: "e", Structure: "s", Metric: "f", Value: 10000, Unit: "bytes"},
+	}
+	d := compare(old, new_, defaults)
+	if len(d.Regressions) != 0 {
+		t.Fatalf("ungated units gated: %+v", d.Regressions)
+	}
+	for _, r := range d.Rows {
+		if r.Gated {
+			t.Errorf("row %s unexpectedly gated", r.Key)
+		}
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	old := []bench.Measurement{{Experiment: "e", Structure: "s", Metric: "m", Unit: "ns/op"}}
+	new_ := []bench.Measurement{{Experiment: "e", Structure: "s", Metric: "m", Value: 5, Unit: "ns/op"}}
+	d := compare(old, new_, defaults)
+	if len(d.Regressions) != 1 || !math.IsInf(d.Regressions[0].DeltaPct, 1) {
+		t.Fatalf("0→5 should be an infinite-delta regression: %+v", d.Rows)
+	}
+	// 0→0 is no change.
+	d = compare(old, []bench.Measurement{{Experiment: "e", Structure: "s", Metric: "m", Unit: "ns/op"}}, defaults)
+	if len(d.Regressions) != 0 || d.Rows[0].DeltaPct != 0 {
+		t.Fatalf("0→0 should not regress: %+v", d.Rows)
+	}
+}
+
+func TestCompareAgainstCommittedBaselineShapeMetrics(t *testing.T) {
+	// The committed baseline must carry the shape metrics benchdiff gates
+	// on, so the soft CI gate has bytes-per-key rows to pair.
+	ms, err := readMeasurements("../../BENCH_baseline.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var nsOp, bytesPerKey int
+	for _, m := range ms {
+		switch m.Unit {
+		case "ns/op":
+			nsOp++
+		case "bytes/key":
+			bytesPerKey++
+		}
+	}
+	if nsOp == 0 || bytesPerKey == 0 {
+		t.Fatalf("baseline lacks gated units: ns/op=%d bytes/key=%d", nsOp, bytesPerKey)
+	}
+	// Identical files never regress, whatever the thresholds.
+	d := compare(ms, ms, thresholds{NsPct: 0, BytesPct: 0})
+	if len(d.Regressions) != 0 || len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("self-compare not clean: %d regressions, %d added, %d removed",
+			len(d.Regressions), len(d.Added), len(d.Removed))
+	}
+}
+
+func TestReadMeasurementsErrors(t *testing.T) {
+	if _, err := readMeasurements("testdata/does-not-exist.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := readMeasurements("main.go"); err == nil {
+		t.Error("non-JSON file accepted")
+	}
+}

@@ -14,6 +14,7 @@
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'          # Prometheus 0.0.4 + runtime metrics
 //	curl 'localhost:8080/debug/vars'       # expvar JSON
+//	curl 'localhost:8080/debug/shape'      # structural-health report (?format=json)
 //	curl 'localhost:8080/debug/explain?key=42'          # one traced descent
 //	curl 'localhost:8080/debug/explain?key=42&format=json'
 //	curl 'localhost:8080/debug/traces'     # recent sampled traces (JSON)
@@ -127,6 +128,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/debug/shape", s.handleShape)
 	mux.HandleFunc("/debug/explain", s.handleExplain)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/slowops", s.handleSlowOps)
@@ -269,6 +271,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.ix.Sampler().Stats()
 	fmt.Fprintf(w, "# TYPE segserve_trace_sampled_total counter\nsegserve_trace_sampled_total %d\n", st.Sampled)
 	fmt.Fprintf(w, "# TYPE segserve_trace_slow_total counter\nsegserve_trace_slow_total %d\n", st.Slow)
+}
+
+// handleShape walks the index and renders its structural-health report —
+// per-level fill, register utilization, the key/pointer/padding byte
+// split — plain text by default, the full report with ?format=json.
+func (s *server) handleShape(w http.ResponseWriter, r *http.Request) {
+	rep := s.ix.Shape()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, rep)
+		return
+	}
+	fmt.Fprint(w, rep)
 }
 
 // handleExplain runs one traced lookup and renders the descent — plain

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	simdtree "repro"
 )
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
@@ -115,6 +118,62 @@ func TestServerStatsAndMetrics(t *testing.T) {
 	}
 	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != 200 {
 		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestShapeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Text form: the merged sharded report of the preloaded index.
+	code, body := get(t, ts.URL+"/debug/shape")
+	if code != 200 {
+		t.Fatalf("/debug/shape = %d", code)
+	}
+	for _, want := range []string{
+		"structure=sharded/opt-segtrie", "keys=100", "shards=4",
+		"fill: degree=", "memory: total=", "simd: registers=",
+		"omitted-levels=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/shape body missing %q:\n%s", want, body)
+		}
+	}
+
+	// JSON form round-trips into the report type.
+	code, body = get(t, ts.URL+"/debug/shape?format=json")
+	if code != 200 {
+		t.Fatalf("/debug/shape json = %d", code)
+	}
+	var rep simdtree.ShapeReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/debug/shape json did not parse: %v\n%s", err, body)
+	}
+	if rep.Keys != 100 || rep.Shards != 4 || rep.Structure != "sharded/opt-segtrie" {
+		t.Errorf("report = %q keys=%d shards=%d, want sharded/opt-segtrie/100/4",
+			rep.Structure, rep.Keys, rep.Shards)
+	}
+	if rep.TotalBytes == 0 || rep.Registers == 0 || len(rep.LevelFill) == 0 {
+		t.Errorf("report missing substance: %+v", rep)
+	}
+	// 100 dense preloaded uint64 keys compress well: the optimized tries
+	// must report omitted levels with positive savings.
+	if rep.OmittedLevels == 0 || rep.OmittedSavingsBytes <= 0 {
+		t.Errorf("dense preload reports no level omission: %+v", rep)
+	}
+
+	// The report's shape figures surface as /metrics gauges.
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE segserve_shape_fill_degree gauge",
+		"# TYPE segserve_shape_register_utilization gauge",
+		"# TYPE segserve_shape_bytes_per_key gauge",
+		"segserve_shape_omitted_levels",
+		"segserve_shape_replenished_slots",
+		"segserve_shape_padding_bytes",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	treedump -n 26 -search 9
 //	treedump -n 11 -search 7 -layout df
+//	treedump -n 26 -shape     # structural report of both layouts instead
 package main
 
 import (
@@ -24,6 +25,8 @@ func main() {
 	n := flag.Int("n", 26, "number of keys (values 1..n, 64-bit)")
 	search := flag.Int64("search", 9, "search key for the trace")
 	layoutFlag := flag.String("layout", "bf", "layout to trace: bf or df")
+	shapeMode := flag.Bool("shape", false,
+		"print the structural-health report of both layouts instead of a search trace")
 	flag.Parse()
 
 	if *n < 1 {
@@ -37,6 +40,17 @@ func main() {
 
 	bf := kary.Build(sorted, kary.BreadthFirst)
 	df := kary.Build(sorted, kary.DepthFirst)
+
+	if *shapeMode {
+		// Shape summary mode: per-level fill, register utilization and the
+		// §3.3 replenishment cost of each layout, no search trace.
+		fmt.Printf("structural reports for %d sorted 64-bit keys (k=%d)\n\n",
+			*n, keys.K[int64]())
+		fmt.Print(bf.Shape())
+		fmt.Println()
+		fmt.Print(df.Shape())
+		return
+	}
 
 	fmt.Printf("k-ary search trees for %d sorted 64-bit keys (k=%d, %d parallel compares)\n\n",
 		*n, keys.K[int64](), keys.Lanes[int64]())

@@ -68,8 +68,27 @@ func TestStaticExperimentsProduceTables(t *testing.T) {
 	if !strings.Contains(mem, "7.9") && !strings.Contains(mem, "8.0") {
 		t.Fatalf("memory table lacks the ~8x reduction:\n%s", mem)
 	}
-	if got := len(rec.Measurements()); got != 8 { // 4 structures × 2 metrics
-		t.Fatalf("memory recorded %d measurements, want 8", got)
+	// 4 structures × (2 byte metrics + 9 shape metrics).
+	if got := len(rec.Measurements()); got != 44 {
+		t.Fatalf("memory recorded %d measurements, want 44", got)
+	}
+	var sawOmission, sawUtilization bool
+	for _, m := range rec.Measurements() {
+		if m.Class != "shape" {
+			continue
+		}
+		if m.Structure == "Optimized Seg-Trie" && m.Metric == "omitted-levels" && m.Value > 0 {
+			sawOmission = true
+		}
+		if m.Metric == "register-utilization" && m.Value > 0 && m.Value <= 1 {
+			sawUtilization = true
+		}
+	}
+	if !sawOmission {
+		t.Error("memory shape metrics lack positive optimized-trie omitted levels")
+	}
+	if !sawUtilization {
+		t.Error("memory shape metrics lack a register-utilization ratio")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/segtree"
 	"repro/internal/segtrie"
+	"repro/internal/shape"
 	"repro/internal/workload"
 	"repro/internal/zhouross"
 )
@@ -307,7 +308,10 @@ func figure11Row(o Options, depth, n, caps int) []string {
 // Memory regenerates the abstract's memory claim: key-storage bytes of
 // B+-Tree, Seg-Tree, Seg-Trie and optimized Seg-Trie over ~1.6 M
 // consecutive 64-bit keys (the paper's 100 MB example), plus total bytes
-// including pointers. The rec sink may be nil.
+// including pointers, and the structural-health figures that explain
+// them — bytes-per-key, fill degree, SIMD-register utilization, §3.3
+// replenishment and §4 level omission — so the BENCH trajectory carries
+// footprint data alongside ns/op. The rec sink may be nil.
 func Memory(keysCount int, rec *Recorder) string {
 	ks := workload.Ascending[uint64](keysCount)
 	vs := make([]uint64, len(ks))
@@ -321,21 +325,25 @@ func Memory(keysCount int, rec *Recorder) string {
 	stats := []struct {
 		name               string
 		keyBytes, allBytes int64
+		shape              shape.Report
 	}{}
-	add := func(name string, keyBytes, allBytes int64) {
+	add := func(name string, keyBytes, allBytes int64, rep shape.Report) {
 		stats = append(stats, struct {
 			name               string
 			keyBytes, allBytes int64
-		}{name, keyBytes, allBytes})
+			shape              shape.Report
+		}{name, keyBytes, allBytes, rep})
 	}
-	base := btree.BulkLoad[uint64, uint64](btree.DefaultConfig[uint64](), ks, vs).Stats()
-	seg := segtree.BulkLoad[uint64, uint64](segtree.DefaultConfig[uint64](), ks, vs).Stats()
+	baseTree := btree.BulkLoad[uint64, uint64](btree.DefaultConfig[uint64](), ks, vs)
+	segTree := segtree.BulkLoad[uint64, uint64](segtree.DefaultConfig[uint64](), ks, vs)
+	base := baseTree.Stats()
+	seg := segTree.Stats()
 	ts := trie.Stats()
 	os := opt.Stats()
-	add("B+-Tree (binary)", base.KeyMemoryBytes, base.MemoryBytes)
-	add("Seg-Tree", seg.KeyMemoryBytes, seg.MemoryBytes)
-	add("Seg-Trie", ts.KeyMemoryBytes, ts.MemoryBytes)
-	add("Optimized Seg-Trie", os.KeyMemoryBytes, os.MemoryBytes)
+	add("B+-Tree (binary)", base.KeyMemoryBytes, base.MemoryBytes, baseTree.Shape())
+	add("Seg-Tree", seg.KeyMemoryBytes, seg.MemoryBytes, segTree.Shape())
+	add("Seg-Trie", ts.KeyMemoryBytes, ts.MemoryBytes, trie.Shape())
+	add("Optimized Seg-Trie", os.KeyMemoryBytes, os.MemoryBytes, opt.Shape())
 
 	var rows [][]string
 	for _, s := range stats {
@@ -343,12 +351,43 @@ func Memory(keysCount int, rec *Recorder) string {
 			Metric: "key-bytes", Value: float64(s.keyBytes), Unit: "bytes"})
 		rec.Record(Measurement{Experiment: "memory", Structure: s.name,
 			Metric: "total-bytes", Value: float64(s.allBytes), Unit: "bytes"})
+		RecordShape(rec, "memory", s.name, s.shape)
 		rows = append(rows, []string{
 			s.name, fmt.Sprint(s.keyBytes),
 			fmt.Sprintf("%.2fx", float64(base.KeyMemoryBytes)/float64(s.keyBytes)),
-			fmt.Sprint(s.allBytes)})
+			fmt.Sprint(s.allBytes),
+			fmt.Sprintf("%.2f", s.shape.BytesPerKey),
+			fmt.Sprintf("%.3f", s.shape.FillDegree),
+			fmt.Sprintf("%.3f", s.shape.RegisterUtilization)})
 	}
-	return FormatTable([]string{"Structure", "Key bytes", "Key reduction", "Total bytes"}, rows)
+	return FormatTable([]string{"Structure", "Key bytes", "Key reduction", "Total bytes",
+		"Bytes/key", "Fill", "Reg util"}, rows)
+}
+
+// RecordShape emits a structure's structural-health figures as BENCH
+// measurements: footprint density, fill, register utilization and the
+// §3.3/§4 waste-and-savings counters. Gauges whose unit is lower-is-
+// better ("bytes/key", padding/replenishment) participate in the
+// benchdiff regression gate alongside ns/op.
+func RecordShape(rec *Recorder, experiment, structure string, rep shape.Report) {
+	for _, m := range []struct {
+		metric string
+		value  float64
+		unit   string
+	}{
+		{"bytes-per-key", rep.BytesPerKey, "bytes/key"},
+		{"fill-degree", rep.FillDegree, "ratio"},
+		{"register-utilization", rep.RegisterUtilization, "ratio"},
+		{"padding-bytes", float64(rep.PaddingBytes), "bytes"},
+		{"replenished-slots", float64(rep.ReplenishedSlots), "slots"},
+		{"omitted-levels", float64(rep.OmittedLevels), "levels"},
+		{"omitted-savings", float64(rep.OmittedSavingsBytes), "bytes"},
+		{"nodes", float64(rep.Nodes), "nodes"},
+		{"levels", float64(rep.Levels), "levels"},
+	} {
+		rec.Record(Measurement{Experiment: experiment, Structure: structure,
+			Class: "shape", Metric: m.metric, Value: m.value, Unit: m.unit})
+	}
 }
 
 // KarySearch measures the §2.2 micro-benchmark: k-ary search (both

@@ -109,6 +109,7 @@ func TestConformance(t *testing.T) {
 			verifyIteration(t, ix, ref)
 			verifyBatchParity(t, ix, ref, 223)
 			verifyStats(t, ix, ref)
+			verifyShape(t, ix)
 			verifyExplain(t, ix, ref)
 		})
 	}

@@ -18,6 +18,7 @@ package index
 
 import (
 	"repro/internal/keys"
+	"repro/internal/shape"
 	"repro/internal/trace"
 )
 
@@ -73,6 +74,11 @@ type Index[K keys.Key, V any] interface {
 	// IndexStats summarizes shape and memory in structure-independent
 	// terms. The structures additionally expose richer per-package Stats.
 	IndexStats() Stats
+	// Shape walks the structure and returns the full structural-health
+	// report: per-level fill, register utilization, memory split. A full
+	// traversal — for snapshots and debug endpoints, not hot paths. Its
+	// TotalBytes must equal IndexStats().MemoryBytes.
+	Shape() shape.Report
 }
 
 // Stats is the structure-independent summary every Index reports. The

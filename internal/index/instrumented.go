@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/keys"
 	"repro/internal/obs"
+	"repro/internal/shape"
 	"repro/internal/trace"
 )
 
@@ -268,6 +269,10 @@ func (ix *Instrumented[K, V]) Ascend(fn func(K, V) bool) { ix.inner.Ascend(fn) }
 // IndexStats implements Index (untimed).
 func (ix *Instrumented[K, V]) IndexStats() Stats { return ix.inner.IndexStats() }
 
+// Shape implements Index (untimed): the wrapped index's structural
+// report, unchanged.
+func (ix *Instrumented[K, V]) Shape() shape.Report { return ix.inner.Shape() }
+
 // OpSnapshot is one operation's latency summary inside a Snapshot.
 type OpSnapshot struct {
 	Op        string                `json:"op"`
@@ -281,11 +286,15 @@ type Snapshot struct {
 	Ops      []OpSnapshot        `json:"ops"`
 	Counters obs.CounterSnapshot `json:"counters"`
 	Stats    Stats               `json:"stats"`
+	Shape    shape.Report        `json:"shape"`
 }
 
-// Snapshot captures the current state of all recorded metrics.
+// Snapshot captures the current state of all recorded metrics. The
+// structural report is refreshed here — a full walk of the wrapped
+// index — so every snapshot (and every Prometheus scrape) carries
+// current fill and footprint figures.
 func (ix *Instrumented[K, V]) Snapshot() Snapshot {
-	s := Snapshot{Stats: ix.inner.IndexStats()}
+	s := Snapshot{Stats: ix.inner.IndexStats(), Shape: ix.inner.Shape()}
 	for _, op := range Ops {
 		s.Ops = append(s.Ops, OpSnapshot{Op: op.String(), Histogram: ix.hists[op].Read()})
 	}
@@ -326,14 +335,39 @@ func (ix *Instrumented[K, V]) WritePrometheus(w io.Writer, prefix string) error 
 		name string
 		v    int64
 	}
+	sh := &snap.Shape
 	for _, g := range []gauge{
 		{"keys", int64(snap.Stats.Keys)},
 		{"height", int64(snap.Stats.Height)},
 		{"nodes", int64(snap.Stats.Nodes)},
 		{"memory_bytes", snap.Stats.MemoryBytes},
 		{"key_memory_bytes", snap.Stats.KeyMemoryBytes},
+		{"shape_levels", int64(sh.Levels)},
+		{"shape_slot_keys", int64(sh.SlotKeys)},
+		{"shape_slots", int64(sh.Slots)},
+		{"shape_key_bytes", sh.KeyBytes},
+		{"shape_pointer_bytes", sh.PointerBytes},
+		{"shape_padding_bytes", sh.PaddingBytes},
+		{"shape_registers", int64(sh.Registers)},
+		{"shape_full_registers", int64(sh.FullRegisters)},
+		{"shape_replenished_slots", int64(sh.ReplenishedSlots)},
+		{"shape_omitted_levels", int64(sh.OmittedLevels)},
+		{"shape_omitted_savings_bytes", sh.OmittedSavingsBytes},
 	} {
 		if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %d\n",
+			prefix, g.name, prefix, g.name, g.v); err != nil {
+			return err
+		}
+	}
+	for _, g := range []struct {
+		name string
+		v    float64
+	}{
+		{"shape_fill_degree", sh.FillDegree},
+		{"shape_bytes_per_key", sh.BytesPerKey},
+		{"shape_register_utilization", sh.RegisterUtilization},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %g\n",
 			prefix, g.name, prefix, g.name, g.v); err != nil {
 			return err
 		}

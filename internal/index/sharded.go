@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/keys"
+	"repro/internal/shape"
 	"repro/internal/trace"
 )
 
@@ -256,4 +257,26 @@ func (s *Sharded[K, V]) IndexStats() Stats {
 		sh.mu.RUnlock()
 	}
 	return st
+}
+
+// Shape merges the per-shard structural reports: counts, bytes,
+// registers and histograms sum, levels take the deepest shard, and the
+// structure name is the first shard's prefixed with "sharded/". Each
+// shard is read-locked only for its own walk, so the merged report is a
+// per-shard-consistent composite, exact when no writer runs
+// concurrently.
+func (s *Sharded[K, V]) Shape() shape.Report {
+	var rep shape.Report
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		r := sh.ix.Shape()
+		sh.mu.RUnlock()
+		if i == 0 {
+			rep = shape.New("sharded/" + r.Structure)
+		}
+		rep.Merge(r)
+	}
+	rep.Shards = len(s.shards)
+	return rep.Finalize()
 }

@@ -1,0 +1,30 @@
+package zhouross
+
+import "repro/internal/shape"
+
+// Shape implements shape.Shaper for the flat Zhou-Ross list: one node,
+// one level — no tree at all, which is the point of this baseline. The
+// report describes the packed form the SIMD probes read: slots are the
+// register-aligned packed array, padding is its max-key tail, and a
+// register is full when all of its lanes fall inside the real key
+// range. With no linearization, utilization degrades only at the tail —
+// the contrast to k-ary replenishment inside every node.
+func (l *List[K]) Shape() shape.Report {
+	rep := shape.New("zhouross")
+	n := len(l.keys)
+	rep.Keys = n
+	rep.Levels = 1
+	padded := len(l.packed) / l.w
+	rep.Node(0, n, padded)
+	for off := 0; off < padded; off += l.lanes {
+		full := 0
+		if off+l.lanes <= n {
+			full = 1
+		}
+		rep.Register(1, full)
+	}
+	rep.KeyBytes = int64(n * l.w)
+	rep.PaddingBytes = int64((padded - n) * l.w)
+	rep.ReplenishedSlots = padded - n
+	return rep.Finalize()
+}

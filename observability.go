@@ -3,6 +3,7 @@ package simdtree
 import (
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/shape"
 )
 
 // Observability surface of the facade: the runtime counters behind the
@@ -72,3 +73,14 @@ const (
 func WrapInstrumented[K Key, V any](ix Index[K, V], withCounters bool) *InstrumentedIndex[K, V] {
 	return index.NewInstrumented(ix, withCounters)
 }
+
+// ShapeReport is the structural-health summary every Index produces via
+// Shape(): per-level fill factors, the key/pointer/padding byte split,
+// bytes-per-key, SIMD-register utilization, §3.3 replenishment counts
+// and §4 level-omission savings. Render with its String method or
+// marshal it as JSON; cmd/segserve serves it at /debug/shape.
+type ShapeReport = shape.Report
+
+// ShapeLevelFill is one level's node count and fill inside a
+// ShapeReport.
+type ShapeLevelFill = shape.LevelFill
