@@ -8,12 +8,22 @@
 #   make bench-baseline - re-measure and overwrite BENCH_baseline.json
 #   make fuzz        - 5 s smoke run of every fuzz target
 #   make fmt         - fail if any file is not gofmt-clean
+#   make analyze     - build cmd/simdvet and run the repo's own analyzers
+#                      (hotalloc, nopanic, traceguard, evalmask) over
+#                      ./... via go vet -vettool, then govulncheck
 #   make staticcheck - staticcheck ./... (skips when the tool is absent)
+#   make govulncheck - govulncheck ./... (skips when the tool is absent)
 #   make trace-demo  - render traced descents with cmd/treedump
 #   make serve       - run the observability HTTP server (cmd/segserve)
 
 GO ?= go
 FUZZTIME ?= 5s
+
+# Pinned lint-tool versions: CI installs exactly these so that a new
+# upstream release cannot break or silently weaken the gate. Bump
+# deliberately, in a commit that also fixes whatever the newer tool
+# flags.
+STATICCHECK_VERSION ?= 2025.1.1
 
 # Every fuzz target in the module, as "package:Target" pairs — go test
 # allows only one -fuzz pattern per invocation.
@@ -26,9 +36,9 @@ FUZZ_TARGETS = \
 
 SERVE_ARGS ?= -structure opt-segtrie -shards 16 -preload 100000
 
-.PHONY: check vet fmt build test race fuzz bench bench-diff bench-baseline staticcheck trace-demo serve clean
+.PHONY: check vet fmt build test race fuzz bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-demo serve clean
 
-check: vet fmt build race fuzz
+check: vet fmt build race fuzz analyze
 
 vet:
 	$(GO) vet ./...
@@ -69,13 +79,36 @@ BENCH_segbench.json:
 bench-baseline:
 	$(GO) run ./cmd/segbench -json BENCH_baseline.json
 
-# staticcheck is not vendored; install with
-#   go install honnef.co/go/tools/cmd/staticcheck@latest
+# The repo's own static-analysis suite (DESIGN.md §5c). simdvet is a
+# go-vet-compatible driver for four repo-specific analyzers: hotalloc
+# (zero-alloc //simdtree:hotpath kernels), nopanic (no panics reachable
+# from exported API without //simdtree:allowpanic), traceguard
+# (*trace.Trace params nil-guarded before use), evalmask (bitmask
+# switches/tables cover the mask space or carry a bounds proof). This is
+# a hard gate: any diagnostic fails the build.
+analyze: simdvet
+	$(GO) vet -vettool=$(CURDIR)/bin/simdvet ./...
+	@$(MAKE) --no-print-directory govulncheck
+
+simdvet:
+	$(GO) build -o bin/simdvet ./cmd/simdvet
+
+# staticcheck is not vendored; install the pinned version with
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+# govulncheck needs network access to the vulnerability database, so it
+# only runs where it is installed (CI); locally it degrades to a notice.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 # Two traced descents through the shared tracing kernel: breadth-first

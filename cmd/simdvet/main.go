@@ -1,0 +1,266 @@
+// Command simdvet is the repo's custom static-analysis driver. It speaks
+// the (unpublished) vet command-line protocol of cmd/go, so it runs as
+//
+//	go vet -vettool=$(pwd)/bin/simdvet ./...
+//
+// and vets every package with the four repo-specific analyzers of
+// internal/analysis: hotalloc (zero-allocation hot paths), nopanic
+// (error-returning library paths), traceguard (nil-guarded trace
+// recording) and evalmask (exhaustive bitmask evaluation). See DESIGN.md
+// §5c for the invariants and the //simdtree: annotation grammar.
+//
+// The protocol, mirrored from golang.org/x/tools/go/analysis/unitchecker
+// without depending on it (the module is dependency-free): cmd/go queries
+// `simdvet -flags` (JSON flag list) and `simdvet -V=full` (build ID for
+// cache keying), then invokes `simdvet <flags> <dir>/vet.cfg` once per
+// package with a JSON config naming the source files and the export data
+// of every dependency. Diagnostics go to stderr as file:line:col:
+// message; a non-zero exit fails go vet.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/evalmask"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/nopanic"
+	"repro/internal/analysis/traceguard"
+)
+
+// analyzers is the suite simdvet runs; each can be disabled with
+// -<name>=false on the go vet command line.
+var analyzers = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	nopanic.Analyzer,
+	traceguard.Analyzer,
+	evalmask.Analyzer,
+}
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg for each
+// package (see buildVetConfig in cmd/go/internal/work/exec.go). Fields the
+// suite does not need are kept for documentation value.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit")
+	flagsOut := fs.Bool("flags", false, "print analyzer flags in JSON")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *version == "full":
+		// cmd/go parses this exact shape (see toolID in
+		// cmd/go/internal/work/buildid.go): field 2 must read "version",
+		// and a "devel" version must end in a buildID. Hash the binary so
+		// rebuilding simdvet invalidates go vet's result cache.
+		printVersion(progname)
+		return
+	case *version != "":
+		fmt.Printf("%s version devel\n", progname)
+		return
+	case *flagsOut:
+		// go vet discovers pass-through flags with `simdvet -flags`.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range analyzers {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			fatalf("marshaling -flags: %v", err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fatalf("usage: %s [flags] vet.cfg\n"+
+			"\t(run via go vet -vettool=%s ./...)", progname, progname)
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	diags, err := run(fs.Arg(0), active)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Position, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simdvet: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func printVersion(progname string) {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		progname, string(h.Sum(nil)[:16]))
+}
+
+// positioned is a diagnostic resolved to a printable file position.
+type positioned struct {
+	Position token.Position
+	Message  string
+}
+
+// run loads and type-checks the package described by cfgPath and applies
+// the analyzers. It writes the (empty) facts file cmd/go caches, so
+// dependency vet actions are cached across runs.
+func run(cfgPath string, active []*analysis.Analyzer) ([]positioned, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		// The suite computes no cross-package facts; an empty output file
+		// still lets cmd/go cache dependency actions.
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only action: facts were requested, diagnostics were
+		// not. Nothing more to do.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go already built: the
+	// source import path maps through ImportMap to a canonical package
+	// path, whose compiled package file (with export data) is listed in
+	// PackageFile. The standard library's gc importer reads those.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	tcfg := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", goarch()),
+	}
+	info := analysis.NewInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	var out []positioned
+	for _, a := range active {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, positioned{Position: fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+func goarch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

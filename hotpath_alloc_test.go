@@ -1,0 +1,99 @@
+package simdtree_test
+
+import (
+	"fmt"
+	"testing"
+
+	simdtree "repro"
+)
+
+// TestGetIsAllocationFree is the dynamic counterpart of the hotalloc
+// static analyzer: every //simdtree:hotpath kernel feeds a Get, so a
+// single heap allocation anywhere on the point-lookup path shows up
+// here as AllocsPerRun > 0. The matrix covers every structure, every
+// k-ary layout and bitmask evaluator where they apply, and the sharded
+// wrapper, for both hit and miss lookups.
+func TestGetIsAllocationFree(t *testing.T) {
+	const n = 4096
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint32(i * 3)
+	}
+
+	type variant struct {
+		name string
+		opts []simdtree.Option
+	}
+	var variants []variant
+
+	structures := []simdtree.Structure{
+		simdtree.StructureSegTree,
+		simdtree.StructureSegTrie,
+		simdtree.StructureOptimizedSegTrie,
+		simdtree.StructureBPlusTree,
+	}
+	layouts := map[simdtree.Layout]string{
+		simdtree.BreadthFirst: "bf",
+		simdtree.DepthFirst:   "df",
+	}
+	evaluators := map[simdtree.Evaluator]string{
+		simdtree.BitShift:   "bitshift",
+		simdtree.SwitchCase: "switch",
+		simdtree.Popcount:   "popcount",
+	}
+
+	for _, s := range structures {
+		if s == simdtree.StructureBPlusTree {
+			// The baseline B+-Tree searches nodes with scalar binary
+			// search; layout/evaluator options do not apply to it.
+			variants = append(variants, variant{
+				name: s.String(),
+				opts: []simdtree.Option{simdtree.WithStructure(s)},
+			})
+			continue
+		}
+		for l, ln := range layouts {
+			for e, en := range evaluators {
+				variants = append(variants, variant{
+					name: fmt.Sprintf("%s/%s/%s", s, ln, en),
+					opts: []simdtree.Option{
+						simdtree.WithStructure(s),
+						simdtree.WithLayout(l),
+						simdtree.WithEvaluator(e),
+					},
+				})
+			}
+		}
+	}
+	// Sharded wrapper over each structure, default layout/evaluator.
+	for _, s := range structures {
+		variants = append(variants, variant{
+			name: s.String() + "/sharded",
+			opts: []simdtree.Option{simdtree.WithStructure(s), simdtree.WithShards(4)},
+		})
+	}
+
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			ix := simdtree.NewIndex[uint32, int](v.opts...)
+			for i, k := range keys {
+				ix.Put(k, i)
+			}
+			hit := keys[n/2]
+			miss := hit + 1 // keys are multiples of 3, so hit+1 is absent
+			if _, ok := ix.Get(hit); !ok {
+				t.Fatalf("Get(%d): expected hit", hit)
+			}
+			if _, ok := ix.Get(miss); ok {
+				t.Fatalf("Get(%d): expected miss", miss)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				ix.Get(hit)
+				ix.Get(miss)
+			})
+			if allocs != 0 {
+				t.Errorf("Get allocates %.1f times per hit+miss pair; the hot path must be allocation-free", allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+// Package analysis is the repo's static-analysis framework: a minimal,
+// dependency-free mirror of the golang.org/x/tools/go/analysis API shape
+// (the module deliberately has no external dependencies, so it cannot use
+// the real thing). It carries the four repo-specific analyzers in its
+// subpackages — hotalloc, nopanic, traceguard, evalmask — which mechanize
+// the invariants the hot search kernels rely on; cmd/simdvet drives them
+// under go vet, and subpackage analysistest replays them over fixture
+// trees.
+//
+// The annotation grammar the analyzers understand (DESIGN.md §5c):
+//
+//	//simdtree:hotpath
+//	    On a function's doc comment: the body is a SIMD search kernel and
+//	    must stay allocation-free (hotalloc).
+//	//simdtree:allowpanic <reason>
+//	    On (or immediately above) a panic call: the panic is an intended
+//	    part of the contract; nopanic accepts it. The reason is required.
+//	//simdtree:kernels <regexp>
+//	    Package-scoped, in any file: functions whose name matches the
+//	    regexp are search kernels and must carry //simdtree:hotpath.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and as its go vet
+	// enable/disable flag (-hotalloc=false).
+	Name string
+	// Doc is a one-line description, shown in flag usage.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to the single package being analyzed.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// populated; drivers hand it to types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// IsTestFile reports whether the file's name ends in _test.go. go vet
+// analyzes test variants of each package; analyzers whose invariants
+// apply to library code only skip these files.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	name := fset.Position(f.Package).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

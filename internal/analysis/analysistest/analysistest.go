@@ -1,0 +1,217 @@
+// Package analysistest replays an Analyzer over small fixture packages
+// and checks its diagnostics against expectations written in the
+// fixtures, mirroring the golang.org/x/tools analysistest convention
+// without the dependency.
+//
+// Fixtures live in GOPATH-style trees: <testdata>/src/<pkg>/*.go. A line
+// that should be flagged carries a trailing comment of the form
+//
+//	// want `regexp`
+//	// want `first` `second`
+//
+// with one back-quoted (or double-quoted) regexp per expected diagnostic
+// on that line. The test fails on any unexpected diagnostic and on any
+// unmatched expectation.
+//
+// Fixture imports resolve within the same testdata tree only (e.g. a
+// fixture package "trace" standing in for the real trace package);
+// standard-library imports are not supported, keeping the loader
+// dependency-free.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package from <testdata>/src/<pkg>, applies the
+// analyzer, and reports mismatches against the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, pkg)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := &loader{root: filepath.Join(testdata, "src"), fset: token.NewFileSet(), cache: map[string]*loaded{}}
+	l, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     l.files,
+		Pkg:       l.pkg,
+		TypesInfo: l.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, ld.fset, l.files)
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture packages and their intra-testdata imports.
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*loaded
+}
+
+func (ld *loader) load(pkgPath string) (*loaded, error) {
+	if l, ok := ld.cache[pkgPath]; ok {
+		if l == nil {
+			return nil, fmt.Errorf("import cycle through %q", pkgPath)
+		}
+		return l, nil
+	}
+	ld.cache[pkgPath] = nil // cycle marker
+
+	dir := filepath.Join(ld.root, pkgPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", pkgPath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", pkgPath)
+	}
+
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		sub, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return sub.pkg, nil
+	})
+	cfg := &types.Config{Importer: imp}
+	info := analysis.NewInfo()
+	pkg, err := cfg.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %q: %v", pkgPath, err)
+	}
+	l := &loaded{pkg: pkg, files: files, info: info}
+	ld.cache[pkgPath] = l
+	return l, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation: a regexp at a file:line, matched at most once.
+type want struct {
+	key     string // "filename:line"
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ byKey map[string][]*want }
+
+// wantRE extracts the quoted regexps of a // want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{byKey: map[string][]*want{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				quoted := wantRE.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s: malformed want comment: %s", pos, c.Text)
+					continue
+				}
+				for _, q := range quoted {
+					re, err := regexp.Compile(q[1 : len(q)-1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", pos, q, err)
+						continue
+					}
+					ws.byKey[key] = append(ws.byKey[key], &want{key: key, re: re})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// match consumes one unmatched expectation at key whose regexp matches
+// the message.
+func (ws *wantSet) match(key, message string) bool {
+	for _, w := range ws.byKey[key] {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	var missed []string
+	for _, list := range ws.byKey {
+		for _, w := range list {
+			if !w.matched {
+				missed = append(missed, fmt.Sprintf("%s: no diagnostic matching %q", w.key, w.re))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// prefix is the namespace of the repo's analyzer annotations. Directive
+// comments use the standard Go directive shape (no space after //), so
+// gofmt leaves them alone.
+const prefix = "//simdtree:"
+
+// Directive is one parsed //simdtree: annotation.
+type Directive struct {
+	Pos  token.Pos
+	Name string // "hotpath", "allowpanic", "kernels", ...
+	Args string // remainder after the name, space-trimmed
+}
+
+// parseDirective extracts a //simdtree: directive from one comment line,
+// or returns false.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, prefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, prefix)
+	name, args, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Pos(), Name: name, Args: strings.TrimSpace(args)}, true
+}
+
+// HasDirective reports whether the comment group (typically a function's
+// doc comment) carries the named //simdtree: directive.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FileDirectives collects every //simdtree: directive of a file, from all
+// comment groups, in source order.
+func FileDirectives(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// LineDirectives maps source lines to the directive with the given name
+// found on that line, across one file. Used for line-anchored annotations
+// such as //simdtree:allowpanic, which may sit at the end of the
+// annotated line or on its own line directly above.
+func LineDirectives(fset *token.FileSet, f *ast.File, name string) map[int]Directive {
+	out := make(map[int]Directive)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c); ok && d.Name == name {
+				out[fset.Position(d.Pos).Line] = d
+			}
+		}
+	}
+	return out
+}
+
+// LineAnnotated resolves a line-anchored directive for the node at pos:
+// the directive counts when it sits on the same line or the line above.
+func LineAnnotated(fset *token.FileSet, lines map[int]Directive, pos token.Pos) (Directive, bool) {
+	line := fset.Position(pos).Line
+	if d, ok := lines[line]; ok {
+		return d, true
+	}
+	d, ok := lines[line-1]
+	return d, ok
+}
+
+// KernelPatterns compiles the package's //simdtree:kernels regexps from
+// all files. Invalid regexps are reported through report and skipped.
+func KernelPatterns(files []*ast.File, report func(pos token.Pos, format string, args ...any)) []*regexp.Regexp {
+	var pats []*regexp.Regexp
+	for _, f := range files {
+		for _, d := range FileDirectives(f) {
+			if d.Name != "kernels" {
+				continue
+			}
+			if d.Args == "" {
+				report(d.Pos, "simdtree:kernels directive needs a function-name regexp")
+				continue
+			}
+			re, err := regexp.Compile(d.Args)
+			if err != nil {
+				report(d.Pos, "simdtree:kernels: bad regexp %q: %v", d.Args, err)
+				continue
+			}
+			pats = append(pats, re)
+		}
+	}
+	return pats
+}

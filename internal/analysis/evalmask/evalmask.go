@@ -1,0 +1,209 @@
+// Package evalmask checks the exhaustiveness of bitmask-evaluation code.
+//
+// The SIMD greater-than compare of sorted lanes yields a 16-bit movemask
+// in switch-point form: a (possibly empty) all-ones suffix, one mask per
+// position of the first greater key (paper §2.1, Algorithm 2). Two kinds
+// of evaluation code are checked:
+//
+//   - Switch-case evaluators (Algorithm 2). Any switch whose constant
+//     cases are switch-point masks is required to cover the whole space:
+//     with inferred lane width w (in mask bits), all 16/w nonzero masks
+//     0xFFFF<<(p*w) must appear, and a default case must absorb the zero
+//     mask. A forgotten case would silently misreport a search position.
+//
+//   - Table-driven evaluators. Indexing a package-level lookup array with
+//     a power-of-two length must carry a bounds proof: the index is a
+//     constant or is masked with `& (len-1)`. This keeps a 2^k-entry
+//     mask table safe without a bounds check in the hot path.
+package evalmask
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports incomplete switch-point mask switches and unproven
+// lookup-table indexing.
+var Analyzer = &analysis.Analyzer{
+	Name: "evalmask",
+	Doc:  "check that bitmask evaluation covers the full switch-point mask space",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.IndexExpr:
+				checkTableIndex(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch detects a switch-point mask switch (at least two constant
+// cases, every constant case in switch-point form) and verifies it covers
+// the whole mask space for its inferred lane width.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagT := pass.TypesInfo.TypeOf(sw.Tag)
+	if tagT == nil || !isUnsignedInt(tagT) {
+		return
+	}
+
+	var (
+		shifts     = make(map[uint]bool)
+		caseCount  int
+		hasDefault bool
+	)
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return // non-constant case: not a mask table
+			}
+			v, ok := constant.Uint64Val(tv.Value)
+			if !ok || v == 0 || v > 0xFFFF {
+				return
+			}
+			shift, ok := switchPointShift(uint16(v))
+			if !ok {
+				return // constant that is not a switch-point mask
+			}
+			shifts[shift] = true
+			caseCount++
+		}
+	}
+	if caseCount < 2 {
+		return
+	}
+
+	// Lane width in mask bits: the gcd of the nonzero shifts (every
+	// switch point sits at a multiple of the width).
+	w := uint(0)
+	for s := range shifts {
+		if s != 0 {
+			w = gcd(w, s)
+		}
+	}
+	if w == 0 {
+		// Only the 0xFFFF case present alongside others already returned
+		// above; a lone full mask plus nothing nonzero cannot infer width.
+		return
+	}
+
+	var missing []uint16
+	for p := uint(0); p*w < 16; p++ {
+		if !shifts[p*w] {
+			missing = append(missing, uint16(0xFFFF<<(p*w)))
+		}
+	}
+	for _, m := range missing {
+		pass.Reportf(sw.Pos(),
+			"switch-point mask switch (lane width %d bits) is missing case %#04x; every position 0..%d needs a case",
+			w, m, 16/w-1)
+	}
+	if !hasDefault {
+		pass.Reportf(sw.Pos(),
+			"switch-point mask switch needs a default case for the zero mask (no key greater)")
+	}
+}
+
+// switchPointShift reports the shift s such that v == 0xFFFF<<s (mod
+// 2^16), i.e. v is all-ones from bit s upward.
+func switchPointShift(v uint16) (uint, bool) {
+	s := uint(0)
+	for v&1 == 0 {
+		v >>= 1
+		s++
+	}
+	// After stripping trailing zeros the remainder must be all ones.
+	if v != 0xFFFF>>s {
+		return 0, false
+	}
+	return s, true
+}
+
+func gcd(a, b uint) uint {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return b
+	}
+	return a
+}
+
+// checkTableIndex verifies the bounds proof on lookup-table indexing:
+// when the indexed expression is a package-level array variable with
+// power-of-two length N, the index must be a constant below N or carry an
+// explicit `& (N-1)` mask.
+func checkTableIndex(pass *analysis.Pass, idx *ast.IndexExpr) {
+	id, ok := ast.Unparen(idx.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Parent() != v.Pkg().Scope() {
+		return // not a package-level variable
+	}
+	arr, ok := v.Type().Underlying().(*types.Array)
+	if !ok {
+		return
+	}
+	n := arr.Len()
+	if n <= 1 || n&(n-1) != 0 {
+		return // not a power-of-two table
+	}
+	if indexProvenBounded(pass, idx.Index, n) {
+		return
+	}
+	pass.Reportf(idx.Index.Pos(),
+		"index into %d-entry mask table %s lacks a bounds proof; mask the index with `& %#x` or use a constant",
+		n, id.Name, n-1)
+}
+
+// indexProvenBounded accepts a constant below n, or a bitwise-AND whose
+// constant operand is at most n-1.
+func indexProvenBounded(pass *analysis.Pass, index ast.Expr, n int64) bool {
+	if tv, ok := pass.TypesInfo.Types[index]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		c, ok := constant.Int64Val(tv.Value)
+		return ok && c >= 0 && c < n
+	}
+	bin, ok := ast.Unparen(index).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.AND {
+		return false
+	}
+	for _, operand := range []ast.Expr{bin.X, bin.Y} {
+		if tv, ok := pass.TypesInfo.Types[operand]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if c, ok := constant.Int64Val(tv.Value); ok && c >= 0 && c <= n-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isUnsignedInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}

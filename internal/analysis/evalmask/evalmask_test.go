@@ -1,0 +1,12 @@
+package evalmask_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/evalmask"
+)
+
+func TestEvalmask(t *testing.T) {
+	analysistest.Run(t, "testdata", evalmask.Analyzer, "a")
+}

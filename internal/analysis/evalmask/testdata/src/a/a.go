@@ -1,0 +1,97 @@
+// Package a exercises the evalmask analyzer on switch-point mask
+// switches (paper Algorithm 2 shapes) and lookup-table bounds proofs.
+package a
+
+// complete32 mirrors the paper's 32-bit Algorithm 2: all four masks plus
+// the default for the zero mask — clean.
+func complete32(mask uint16) int {
+	switch mask {
+	case 0xFFFF:
+		return 0
+	case 0xFFF0:
+		return 1
+	case 0xFF00:
+		return 2
+	case 0xF000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// missingCase32 drops the 0xFF00 case.
+func missingCase32(mask uint16) int {
+	switch mask { // want `missing case 0xff00`
+	case 0xFFFF:
+		return 0
+	case 0xFFF0:
+		return 1
+	case 0xF000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// missingDefault64 covers both nonzero masks but forgets the zero mask.
+func missingDefault64(mask uint16) int {
+	switch mask { // want `needs a default case`
+	case 0xFFFF:
+		return 0
+	case 0xFF00:
+		return 1
+	}
+	return 2
+}
+
+// notAMaskSwitch has constants that are not switch-point masks — ignored.
+func notAMaskSwitch(x uint16) int {
+	switch x {
+	case 1:
+		return 0
+	case 2:
+		return 1
+	}
+	return 2
+}
+
+// signedSwitch is over a signed type — ignored even with mask-like cases.
+func signedSwitch(x int) int {
+	switch x {
+	case 0xFF00:
+		return 0
+	case 0xF000:
+		return 1
+	}
+	return 2
+}
+
+// evalTable is a power-of-two lookup table for mask evaluation.
+var evalTable [16]int
+
+// nonPow2 is not a power-of-two table — indexing is not checked.
+var nonPow2 [10]int
+
+func tableMasked(m uint16) int {
+	return evalTable[m&15]
+}
+
+func tableMaskedReversed(m uint16) int {
+	return evalTable[0xF&m]
+}
+
+func tableConst() int {
+	return evalTable[3]
+}
+
+func tableUnproven(m uint16) int {
+	return evalTable[m] // want `lacks a bounds proof`
+}
+
+func tableWideMask(m uint16) int {
+	return evalTable[m&31] // want `lacks a bounds proof`
+}
+
+func tableNonPow2(m uint16) int {
+	return nonPow2[int(m)%10]
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IsTracePointer reports whether t is a *trace.Trace: a pointer to a
+// named type Trace declared in a package named "trace". Matching by
+// package name rather than import path keeps the analyzers fixture-
+// friendly (analysistest trees declare their own trace package).
+func IsTracePointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Trace" && obj.Pkg() != nil && obj.Pkg().Name() == "trace"
+}
+
+// TraceParams returns the objects of fn's parameters typed *trace.Trace.
+func TraceParams(info *types.Info, fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && IsTracePointer(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// Terminates reports whether the block always transfers control out of
+// the enclosing statement list: its last statement is a return, a panic
+// call, or a continue/break/goto. Good enough for the guard idioms the
+// analyzers recognize; a false negative only makes them stricter.
+func Terminates(block *ast.BlockStmt) bool {
+	if block == nil || len(block.List) == 0 {
+		return false
+	}
+	switch s := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// FuncDisplayName renders fn as "Recv.Name" for methods (generic
+// receivers are unwrapped) and "Name" for plain functions — the form the
+// //simdtree:kernels regexps match against.
+func FuncDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	if recv := recvTypeName(fn.Recv.List[0].Type); recv != "" {
+		return recv + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+func recvTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr: // generic receiver: Tree[K]
+			expr = e.X
+		case *ast.IndexListExpr: // generic receiver: Tree[K, V]
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// NilCheck describes one `x == nil` / `x != nil` comparison found in an
+// if condition, for x one of the objects of interest.
+type NilCheck struct {
+	Obj types.Object
+	Eq  bool // true for ==, false for !=
+}
+
+// NilChecks extracts the nil comparisons of cond that involve one of the
+// given objects. Conjunctions (&&) are descended into, so
+// `tr != nil && lvl > 0` yields the tr check; disjunctions are not (an
+// `a || b` branch guards nothing on its own).
+func NilChecks(info *types.Info, cond ast.Expr, objs map[types.Object]bool) []NilCheck {
+	var out []NilCheck
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch e.Op.String() {
+			case "&&":
+				walk(e.X)
+				walk(e.Y)
+			case "==", "!=":
+				obj := nilComparand(info, e.X, e.Y, objs)
+				if obj == nil {
+					obj = nilComparand(info, e.Y, e.X, objs)
+				}
+				if obj != nil {
+					out = append(out, NilCheck{Obj: obj, Eq: e.Op.String() == "=="})
+				}
+			}
+		}
+	}
+	walk(cond)
+	return out
+}
+
+// nilComparand returns the tracked object when x is one of objs and y is
+// the predeclared nil.
+func nilComparand(info *types.Info, x, y ast.Expr, objs map[types.Object]bool) types.Object {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil || !objs[obj] {
+		return nil
+	}
+	if yid, ok := ast.Unparen(y).(*ast.Ident); ok {
+		if _, isNil := info.Uses[yid].(*types.Nil); isNil {
+			return obj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+// Package hotalloc checks the zero-allocation invariant of the SIMD
+// search kernels: a function annotated //simdtree:hotpath may not contain
+// constructs that heap-allocate or otherwise leave the tight-loop
+// discipline of Zhou & Ross-style search code — append, make, new,
+// escaping composite literals, map operations, defer/go, function
+// literals (closure captures), interface boxing, or allocating string
+// conversions.
+//
+// One escape hatch is built in: blocks guarded by a `tr != nil` check on
+// a *trace.Trace value are the traced path of a shared kernel (PR 3's
+// traced==untraced invariant) and may allocate — the zero-alloc contract
+// covers the untraced Get, which never enters them. The complementary
+// guard `if tr == nil { ... }` keeps its then-branch checked (that IS the
+// untraced path) and exempts its else-branch.
+//
+// The package-scoped //simdtree:kernels <regexp> directive closes the
+// loop: any function whose display name ("Recv.Name" for methods)
+// matches must carry the //simdtree:hotpath annotation, so removing an
+// annotation from a kernel is itself a diagnostic rather than a silent
+// hole in the gate.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags allocation sources inside //simdtree:hotpath functions
+// and kernels that lost their annotation.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "check that //simdtree:hotpath search kernels stay allocation-free",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	kernels := analysis.KernelPatterns(pass.Files, pass.Reportf)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hot := analysis.HasDirective(fn.Doc, "hotpath")
+			name := analysis.FuncDisplayName(fn)
+			if !hot {
+				for _, re := range kernels {
+					if re.MatchString(name) {
+						pass.Reportf(fn.Name.Pos(),
+							"kernel %s matches //simdtree:kernels %q but lacks the //simdtree:hotpath annotation",
+							name, re.String())
+						break
+					}
+				}
+				continue
+			}
+			c := &checker{pass: pass, fname: name, traceObjs: traceObjects(pass, fn)}
+			c.checkNode(fn.Body)
+		}
+	}
+	return nil
+}
+
+// traceObjects collects the function's *trace.Trace-typed parameters and
+// locals, whose nil-guards delimit the traced (allocation-permitted)
+// path.
+func traceObjects(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil && analysis.IsTracePointer(obj.Type()) {
+				objs[obj] = true
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	fname     string
+	traceObjs map[types.Object]bool
+}
+
+// checkNode walks n flagging allocation sources, pruning trace-guarded
+// branches.
+func (c *checker) checkNode(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if c.checkTraceIf(n) {
+				return false // children already handled
+			}
+		case *ast.DeferStmt:
+			c.flag(n.Pos(), "defer")
+		case *ast.GoStmt:
+			c.flag(n.Pos(), "go statement")
+		case *ast.FuncLit:
+			c.flag(n.Pos(), "function literal (closure)")
+			return false
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.flag(n.Pos(), "escaping composite literal (&T{...})")
+				}
+			}
+		case *ast.IndexExpr:
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					c.flag(n.Pos(), "map operation")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					c.flag(n.X.Pos(), "map iteration")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t := c.pass.TypesInfo.TypeOf(n); t != nil && isString(t) {
+					c.flag(n.Pos(), "string concatenation")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkTraceIf prunes the traced side of a trace nil-guard. It reports
+// true when n was such a guard and its children were traversed here.
+func (c *checker) checkTraceIf(n *ast.IfStmt) bool {
+	if len(c.traceObjs) == 0 {
+		return false
+	}
+	checks := analysis.NilChecks(c.pass.TypesInfo, n.Cond, c.traceObjs)
+	if len(checks) == 0 {
+		return false
+	}
+	if n.Init != nil {
+		c.checkNode(n.Init)
+	}
+	eq := false
+	for _, ch := range checks {
+		if ch.Eq {
+			eq = true
+		}
+	}
+	if eq {
+		// if tr == nil { untraced path } else { traced path }
+		c.checkNode(n.Body)
+	} else if n.Else != nil {
+		// if tr != nil { traced path } else { still hot }
+		c.checkNode(n.Else)
+	}
+	return true
+}
+
+func (c *checker) checkCompositeLit(n *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.flag(n.Pos(), "slice literal")
+	case *types.Map:
+		c.flag(n.Pos(), "map literal")
+	}
+	// Plain struct and array literals stay on the stack unless their
+	// address escapes, which the &T{...} and closure checks catch.
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				c.flag(call.Pos(), "append")
+			case "make":
+				c.flag(call.Pos(), "make")
+			case "new":
+				c.flag(call.Pos(), "new")
+			case "delete":
+				c.flag(call.Pos(), "map operation (delete)")
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x): boxing when T is an interface, allocation for
+		// the string/byte-slice pairs.
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	c.checkCallArgs(call, sig)
+}
+
+func (c *checker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	if types.IsInterface(target.Underlying()) && !types.IsInterface(argT.Underlying()) {
+		c.flag(call.Pos(), "interface conversion (boxing)")
+		return
+	}
+	if isString(target) != isString(argT) && (isByteOrRuneSlice(target) || isByteOrRuneSlice(argT)) {
+		c.flag(call.Pos(), "string conversion")
+	}
+}
+
+// checkCallArgs flags arguments that box a concrete value into an
+// interface parameter (including variadic ...interface{} as used by fmt).
+func (c *checker) checkCallArgs(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last
+			} else if s, ok := last.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) || isUntypedNil(at) {
+			continue
+		}
+		c.flag(arg.Pos(), "interface boxing (argument to interface parameter)")
+	}
+}
+
+func (c *checker) checkAssign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		lt := c.pass.TypesInfo.TypeOf(n.Lhs[i])
+		rt := c.pass.TypesInfo.TypeOf(n.Rhs[i])
+		if lt == nil || rt == nil {
+			continue
+		}
+		if types.IsInterface(lt.Underlying()) && !types.IsInterface(rt.Underlying()) && !isUntypedNil(rt) {
+			c.flag(n.Rhs[i].Pos(), "interface boxing (assignment)")
+		}
+	}
+}
+
+// flag reports one allocation source inside the hotpath function.
+func (c *checker) flag(pos token.Pos, what string) {
+	c.pass.Reportf(pos, "hotpath function %s: %s is not allowed in a //simdtree:hotpath kernel", c.fname, what)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

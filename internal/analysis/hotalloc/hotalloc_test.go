@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	// Package a covers the allocation checks; package b is the negative
+	// fixture for the //simdtree:kernels annotation-presence gate.
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a", "b")
+}

@@ -1,0 +1,128 @@
+// Package a exercises the hotalloc analyzer: each annotated function
+// carries exactly the allocation sources its name says.
+package a
+
+import "trace"
+
+// sink keeps results alive without more allocations.
+var sink interface{}
+
+//simdtree:hotpath
+func hotClean(xs []int, v int) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+//simdtree:hotpath
+func hotAppend(xs []int) []int {
+	return append(xs, 1) // want `append`
+}
+
+//simdtree:hotpath
+func hotMake() []int {
+	return make([]int, 4) // want `make`
+}
+
+//simdtree:hotpath
+func hotNew() *int {
+	return new(int) // want `new`
+}
+
+//simdtree:hotpath
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal`
+}
+
+//simdtree:hotpath
+func hotMapLit() map[int]int {
+	return map[int]int{1: 2} // want `map literal`
+}
+
+//simdtree:hotpath
+func hotEscape() *int {
+	type point struct{ x, y int }
+	p := &point{1, 2} // want `escaping composite literal`
+	return &p.x
+}
+
+//simdtree:hotpath
+func hotValueStruct() int {
+	type point struct{ x, y int }
+	p := point{1, 2} // plain value literal: stays on the stack
+	return p.x
+}
+
+//simdtree:hotpath
+func hotMapIndex(m map[int]int, k int) int {
+	return m[k] // want `map operation`
+}
+
+//simdtree:hotpath
+func hotMapDelete(m map[int]int, k int) {
+	delete(m, k) // want `map operation`
+}
+
+//simdtree:hotpath
+func hotDefer() {
+	defer hotNew() // want `defer`
+}
+
+//simdtree:hotpath
+func hotClosure(xs []int) func() int {
+	return func() int { return len(xs) } // want `function literal`
+}
+
+//simdtree:hotpath
+func hotBoxAssign(v int) {
+	sink = v // want `interface boxing`
+}
+
+//simdtree:hotpath
+func hotBoxArg(v int) {
+	take(v) // want `interface boxing`
+}
+
+func take(x interface{}) { _ = x }
+
+//simdtree:hotpath
+func hotStringConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//simdtree:hotpath
+func hotStringConv(b []byte) string {
+	return string(b) // want `string conversion`
+}
+
+// hotTraced allocates only on the traced path, inside the recognized
+// `tr != nil` guard block — allowed.
+//
+//simdtree:hotpath
+func hotTraced(tr *trace.Trace, xs []int, v int) int {
+	pos := hotClean(xs, v)
+	if tr != nil {
+		lanes := make([]string, len(xs))
+		tr.Record(lanes)
+	}
+	return pos
+}
+
+// hotTracedElse allocates on the untraced side of the guard — flagged.
+//
+//simdtree:hotpath
+func hotTracedElse(tr *trace.Trace, xs []int, v int) int {
+	if tr != nil {
+		tr.SetStructure("fixture")
+	} else {
+		xs = append(xs, v) // want `append`
+	}
+	return hotClean(xs, v)
+}

@@ -1,0 +1,33 @@
+// Package b is the negative fixture required by the kernels directive:
+// search-kernel-shaped functions that match the pattern but lost their
+// //simdtree:hotpath annotation must be flagged, so un-annotating a real
+// kernel cannot silently drop it out of the gate.
+package b
+
+//simdtree:kernels ^(searchBF|List\.lookup|annotatedKernel)$
+
+func searchBF(xs []int, v int) int { // want `lacks the //simdtree:hotpath annotation`
+	for i, x := range xs {
+		if x > v {
+			return i
+		}
+	}
+	return len(xs)
+}
+
+// List is a minimal receiver so the pattern exercises the Recv.Name form.
+type List struct{ xs []int }
+
+func (l *List) lookup(v int) int { // want `lacks the //simdtree:hotpath annotation`
+	return searchBF(l.xs, v)
+}
+
+// annotated still matches the pattern but carries the annotation — clean.
+//
+//simdtree:hotpath
+func annotatedKernel(xs []int, v int) int {
+	return len(xs) + v
+}
+
+// helper does not match the pattern — clean without annotation.
+func helper() {}

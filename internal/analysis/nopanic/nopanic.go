@@ -1,0 +1,173 @@
+// Package nopanic enforces the library's error-contract: exported API of
+// a non-main package must not panic on library paths. A panic is only
+// acceptable when it is a documented part of the contract — Must-style
+// constructors that exist to panic, and bulk-load/domain validation —
+// and every such site must say so with a //simdtree:allowpanic <reason>
+// annotation on (or directly above) the panic call.
+//
+// The check is transitive within the package: an exported function that
+// calls an unexported helper containing a bare panic is flagged at the
+// panic site, naming the exported entry point that reaches it. Test
+// files, the main package, and functions whose name starts with Must are
+// out of scope.
+package nopanic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports panics reachable from exported non-Must functions
+// that lack a //simdtree:allowpanic annotation.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "check that exported library functions cannot reach an unannotated panic",
+	Run:  run,
+}
+
+// fnInfo is the per-function slice of the intra-package call graph.
+type fnInfo struct {
+	decl    *ast.FuncDecl
+	panics  []panicSite
+	callees []types.Object
+}
+
+type panicSite struct {
+	pos token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+
+	// Line-anchored allowpanic directives, per file.
+	type fileAllow struct {
+		f     *ast.File
+		lines map[int]analysis.Directive
+	}
+	allow := make(map[*token.File]fileAllow)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		allow[pass.Fset.File(f.Pos())] = fileAllow{f: f, lines: analysis.LineDirectives(pass.Fset, f, "allowpanic")}
+	}
+
+	// Build the call graph: one node per declared function, with its
+	// un-exempted panic sites and same-package direct callees.
+	graph := make(map[types.Object]*fnInfo)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		fa := allow[pass.Fset.File(f.Pos())]
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			node := &fnInfo{decl: fn}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+						if d, exempt := analysis.LineAnnotated(pass.Fset, fa.lines, call.Pos()); exempt {
+							if d.Args == "" {
+								pass.Reportf(call.Pos(),
+									"simdtree:allowpanic needs a reason, e.g. //simdtree:allowpanic Must-style wrapper")
+							}
+						} else {
+							node.panics = append(node.panics, panicSite{pos: call.Pos()})
+						}
+						return true
+					}
+					if callee := pass.TypesInfo.Uses[fun]; callee != nil && samePackage(callee, pass.Pkg) {
+						node.callees = append(node.callees, callee)
+					}
+				case *ast.SelectorExpr:
+					if callee := pass.TypesInfo.Uses[fun.Sel]; callee != nil && samePackage(callee, pass.Pkg) {
+						node.callees = append(node.callees, callee)
+					}
+				}
+				return true
+			})
+			graph[obj] = node
+		}
+	}
+
+	// Memoized transitive reachability: obj -> un-exempted panic sites it
+	// can reach within the package.
+	memo := make(map[types.Object][]panicSite)
+	onStack := make(map[types.Object]bool)
+	var reach func(obj types.Object) []panicSite
+	reach = func(obj types.Object) []panicSite {
+		if sites, ok := memo[obj]; ok {
+			return sites
+		}
+		if onStack[obj] { // recursion cycle; sites surface via the entry node
+			return nil
+		}
+		node := graph[obj]
+		if node == nil {
+			return nil
+		}
+		onStack[obj] = true
+		sites := append([]panicSite(nil), node.panics...)
+		for _, callee := range node.callees {
+			sites = append(sites, reach(callee)...)
+		}
+		onStack[obj] = false
+		memo[obj] = sites
+		return sites
+	}
+
+	// Flag each reachable site once, attributed to the first exported
+	// entry point (in source order) that reaches it.
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil || graph[obj] == nil {
+				continue
+			}
+			if !fn.Name.IsExported() || strings.HasPrefix(fn.Name.Name, "Must") {
+				continue
+			}
+			for _, site := range reach(obj) {
+				if reported[site.pos] {
+					continue
+				}
+				reported[site.pos] = true
+				pass.Reportf(site.pos,
+					"panic reachable from exported function %s; return an error or annotate the site //simdtree:allowpanic <reason>",
+					analysis.FuncDisplayName(fn))
+			}
+		}
+	}
+	return nil
+}
+
+// samePackage reports whether obj is a function or method declared in pkg.
+func samePackage(obj types.Object, pkg *types.Package) bool {
+	if _, ok := obj.(*types.Func); !ok {
+		return false
+	}
+	return obj.Pkg() == pkg
+}

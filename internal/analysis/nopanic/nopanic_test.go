@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "a")
+}

@@ -1,0 +1,73 @@
+// Package a exercises the nopanic analyzer: direct and transitive panic
+// reachability from exported functions, the Must exemption, and the
+// //simdtree:allowpanic grammar.
+package a
+
+// Direct bare panic in an exported function.
+func Exported(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic reachable from exported function Exported`
+	}
+	return n
+}
+
+// Transitive: the panic lives in an unexported helper; the diagnostic
+// lands on the panic site and names the exported entry point.
+func Outer(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	if n == 0 {
+		panic("zero") // want `panic reachable from exported function Outer`
+	}
+	return 64 / n
+}
+
+// MustParse panics by contract — the Must prefix exempts it.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty")
+	}
+	return len(s)
+}
+
+// Annotated carries the allowpanic escape hatch with a reason — clean.
+func Annotated(n int) int {
+	if n < 0 {
+		panic("negative") //simdtree:allowpanic fixture contract panic
+	}
+	return n
+}
+
+// AnnotatedAbove uses the line-above placement — clean.
+func AnnotatedAbove(n int) int {
+	if n < 0 {
+		//simdtree:allowpanic fixture contract panic
+		panic("negative")
+	}
+	return n
+}
+
+// MissingReason has the directive but no reason: the site stays exempt,
+// and the empty reason is its own diagnostic.
+func MissingReason(n int) int {
+	if n < 0 {
+		//simdtree:allowpanic
+		panic("negative") // want `needs a reason`
+	}
+	return n
+}
+
+// unexportedOnly panics but is reachable from no exported function.
+func unexportedOnly() {
+	panic("internal invariant")
+}
+
+// Recursive functions must not hang the reachability walk.
+func Recurse(n int) int {
+	if n <= 0 {
+		panic("done") // want `panic reachable from exported function Recurse`
+	}
+	return Recurse(n - 1)
+}

@@ -1,0 +1,75 @@
+// Package a exercises the traceguard analyzer over the two guard idioms
+// the real kernels use.
+package a
+
+import "trace"
+
+func unguarded(tr *trace.Trace) {
+	tr.SetStructure("fixture") // want `unguarded call tr.SetStructure`
+}
+
+func guardBlock(tr *trace.Trace, lanes []string) {
+	if tr != nil {
+		tr.Record(lanes)
+	}
+}
+
+func guardConjunction(tr *trace.Trace, lanes []string, depth int) {
+	if tr != nil && depth > 0 {
+		tr.Record(lanes)
+	}
+}
+
+func earlyReturn(tr *trace.Trace, lanes []string) int {
+	if tr == nil {
+		return 0
+	}
+	tr.Record(lanes)
+	return len(lanes)
+}
+
+func elseBranch(tr *trace.Trace, lanes []string) {
+	if tr != nil {
+		tr.Record(lanes)
+	} else {
+		tr.SetStructure("dead") // want `unguarded call tr.SetStructure`
+	}
+}
+
+func afterGuardBlock(tr *trace.Trace, lanes []string) {
+	if tr != nil {
+		tr.Record(lanes)
+	}
+	tr.SetStructure("late") // want `unguarded call tr.SetStructure`
+}
+
+func guardedLoop(tr *trace.Trace, lanes []string) {
+	for range lanes {
+		if tr != nil {
+			tr.Record(lanes)
+		}
+	}
+}
+
+func unguardedLoop(tr *trace.Trace, lanes []string) {
+	for range lanes {
+		tr.Record(lanes) // want `unguarded call tr.Record`
+	}
+}
+
+// passThrough hands tr to a callee unguarded — fine, the callee guards.
+func passThrough(tr *trace.Trace, lanes []string) {
+	guardBlock(tr, lanes)
+}
+
+// nested guards survive into inner blocks.
+func nestedGuard(tr *trace.Trace, lanes []string) {
+	if tr != nil {
+		for range lanes {
+			tr.Record(lanes)
+		}
+	}
+}
+
+// noTrace has no *trace.Trace parameter; nothing to check.
+func noTrace(lanes []string) int { return len(lanes) }

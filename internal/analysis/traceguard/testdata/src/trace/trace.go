@@ -1,0 +1,25 @@
+// Package trace is a fixture stand-in for the real trace package: the
+// analyzers match *trace.Trace by package name, so fixtures can carry
+// their own copy.
+package trace
+
+// Trace records search steps.
+type Trace struct {
+	steps []string
+}
+
+// Record appends one rendered step.
+func (t *Trace) Record(lanes []string) {
+	if t == nil {
+		return
+	}
+	t.steps = append(t.steps, lanes...)
+}
+
+// SetStructure names the traced structure.
+func (t *Trace) SetStructure(name string) {
+	if t == nil {
+		return
+	}
+	t.steps = append(t.steps, name)
+}

@@ -1,0 +1,214 @@
+// Package traceguard enforces the tracing discipline of the search
+// kernels: a function that takes a *trace.Trace parameter must establish
+// that the trace is non-nil before invoking a recording method on it.
+// Two guard idioms are recognized, matching the two styles the kernels
+// use:
+//
+//	if tr == nil { return t.Get(key) }   // early return; tr non-nil after
+//	if tr != nil { tr.Descend(...) }     // guard block around the record
+//
+// The trace recorders are themselves nil-safe, so an unguarded call is
+// not a crash — it is a performance bug: the call and its argument
+// evaluation (often a composite literal or string formatting) run on the
+// untraced hot path too. traceguard makes the guard a checked invariant
+// instead of a convention.
+//
+// The trace package itself and test files are exempt.
+package traceguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports unguarded recording calls on *trace.Trace parameters.
+var Analyzer = &analysis.Analyzer{
+	Name: "traceguard",
+	Doc:  "check that *trace.Trace parameters are nil-guarded before recording calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "trace" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			params := analysis.TraceParams(pass.TypesInfo, fn)
+			if len(params) == 0 {
+				continue
+			}
+			tracked := make(map[types.Object]bool, len(params))
+			for _, p := range params {
+				tracked[p] = true
+			}
+			c := &checker{pass: pass, tracked: tracked}
+			c.stmtList(fn.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	tracked map[types.Object]bool
+}
+
+// guardSet is the set of trace objects proven non-nil at the current
+// point; nil-extended copies flow down, never up.
+type guardSet map[types.Object]bool
+
+func (g guardSet) with(objs ...types.Object) guardSet {
+	out := make(guardSet, len(g)+len(objs))
+	for k, v := range g {
+		out[k] = v
+	}
+	for _, o := range objs {
+		out[o] = true
+	}
+	return out
+}
+
+// stmtList walks a statement list in order, widening the guard set after
+// an early-return nil check (`if tr == nil { return }`).
+func (c *checker) stmtList(stmts []ast.Stmt, guarded guardSet) {
+	for _, s := range stmts {
+		if ifs, ok := s.(*ast.IfStmt); ok {
+			if obj := c.earlyReturnGuard(ifs, guarded); obj != nil {
+				guarded = guarded.with(obj)
+				continue
+			}
+		}
+		c.stmt(s, guarded)
+	}
+}
+
+// earlyReturnGuard matches `if tr == nil { return/branch/panic }` (with
+// no else), checks its body, and returns the guarded object.
+func (c *checker) earlyReturnGuard(ifs *ast.IfStmt, guarded guardSet) types.Object {
+	if ifs.Init != nil || ifs.Else != nil || !analysis.Terminates(ifs.Body) {
+		return nil
+	}
+	checks := analysis.NilChecks(c.pass.TypesInfo, ifs.Cond, c.tracked)
+	if len(checks) != 1 || !checks[0].Eq {
+		return nil
+	}
+	// Inside the body tr is nil; recording there is its own bug, but the
+	// generic walk flags it since the body's guard set is unchanged.
+	c.stmt(ifs.Body, guarded)
+	return checks[0].Obj
+}
+
+// stmt dispatches on statement structure so that guard blocks extend the
+// guarded set only for their own body.
+func (c *checker) stmt(s ast.Stmt, guarded guardSet) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.stmtList(s.List, guarded)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guarded)
+		}
+		c.expr(s.Cond, guarded)
+		bodyGuards := guarded
+		var nonNil []types.Object
+		for _, ch := range analysis.NilChecks(c.pass.TypesInfo, s.Cond, c.tracked) {
+			if !ch.Eq {
+				nonNil = append(nonNil, ch.Obj)
+			}
+		}
+		if len(nonNil) > 0 {
+			bodyGuards = guarded.with(nonNil...)
+		}
+		c.stmt(s.Body, bodyGuards)
+		if s.Else != nil {
+			c.stmt(s.Else, guarded)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guarded)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, guarded)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, guarded)
+		}
+		c.stmt(s.Body, guarded)
+	case *ast.RangeStmt:
+		c.expr(s.X, guarded)
+		c.stmt(s.Body, guarded)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guarded)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, guarded)
+		}
+		for _, cc := range s.Body.List {
+			c.stmtList(cc.(*ast.CaseClause).Body, guarded)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			c.stmtList(cc.(*ast.CaseClause).Body, guarded)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			c.stmtList(cc.(*ast.CommClause).Body, guarded)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, guarded)
+	default:
+		// Leaf statements (assign, expr, return, defer, go, decl, ...):
+		// scan every contained expression.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.exprShallow(e, guarded)
+			}
+			return true
+		})
+	}
+}
+
+// expr scans one expression tree for unguarded recording calls.
+func (c *checker) expr(e ast.Expr, guarded guardSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sub, ok := n.(ast.Expr); ok {
+			c.exprShallow(sub, guarded)
+		}
+		return true
+	})
+}
+
+// exprShallow flags n itself when it is a recording call `tr.Method(...)`
+// on an unguarded tracked trace.
+func (c *checker) exprShallow(e ast.Expr, guarded guardSet) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil || !c.tracked[obj] || guarded[obj] {
+		return
+	}
+	c.pass.Reportf(call.Pos(),
+		"unguarded call %s.%s on *trace.Trace parameter; wrap in `if %s != nil { ... }` or return early when nil",
+		id.Name, sel.Sel.Name, id.Name)
+}

@@ -1,0 +1,12 @@
+package traceguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/traceguard"
+)
+
+func TestTraceguard(t *testing.T) {
+	analysistest.Run(t, "testdata", traceguard.Analyzer, "a")
+}

@@ -16,6 +16,12 @@ import (
 	"repro/internal/obs"
 )
 
+// The evaluators are zero-allocation hot paths (one evaluation per tree
+// level); the directive keeps their //simdtree:hotpath annotations
+// checked by cmd/simdvet.
+//
+//simdtree:kernels ^(Evaluator\.Evaluate|BitShiftEval|PopcountEval|SwitchEval|switch(8|16|32|64))$
+
 // Evaluator selects one of the paper's three mask-evaluation algorithms.
 type Evaluator uint8
 
@@ -52,6 +58,8 @@ var Evaluators = []Evaluator{BitShift, SwitchCase, Popcount}
 
 // Evaluate returns the position of the first greater key encoded in mask
 // for lane byte width width, using the selected algorithm.
+//
+//simdtree:hotpath
 func (e Evaluator) Evaluate(mask uint16, width int) int {
 	obs.MaskEvals(1)
 	switch e {
@@ -69,6 +77,8 @@ func (e Evaluator) Evaluate(mask uint16, width int) int {
 // mask the number of set segment-LSBs is the number of greater keys, so the
 // position is c minus that count. Width is a power of two, so the segment
 // count is derived with shifts rather than divisions.
+//
+//simdtree:hotpath
 func BitShiftEval(mask uint16, width int) int {
 	shift := uint(bits.TrailingZeros8(uint8(width)))
 	c := 16 >> shift
@@ -86,6 +96,8 @@ func BitShiftEval(mask uint16, width int) int {
 // OnesCount16 compiles to the hardware POPCNT instruction, matching the
 // paper's use of popcnt; the divisions by the power-of-two width compile
 // to shifts.
+//
+//simdtree:hotpath
 func PopcountEval(mask uint16, width int) int {
 	shift := uint(bits.TrailingZeros8(uint8(width)))
 	return (16 >> shift) - bits.OnesCount16(mask)>>shift
@@ -94,6 +106,8 @@ func PopcountEval(mask uint16, width int) int {
 // SwitchEval is Algorithm 2 (switch case): one case per possible
 // switch-point mask. The paper lists the 32-bit variant; the other widths
 // are the straightforward expansions.
+//
+//simdtree:hotpath
 func SwitchEval(mask uint16, width int) int {
 	switch width {
 	case 1:
@@ -109,6 +123,8 @@ func SwitchEval(mask uint16, width int) int {
 
 // switch32 is the paper's Algorithm 2 verbatim: 32-bit segments in a
 // 128-bit register, masks 0xFFFF, 0xFFF0, 0xFF00, 0xF000 and 0x0000.
+//
+//simdtree:hotpath
 func switch32(mask uint16) int {
 	switch mask {
 	case 0xFFFF:
@@ -124,6 +140,7 @@ func switch32(mask uint16) int {
 	}
 }
 
+//simdtree:hotpath
 func switch64(mask uint16) int {
 	switch mask {
 	case 0xFFFF:
@@ -135,6 +152,7 @@ func switch64(mask uint16) int {
 	}
 }
 
+//simdtree:hotpath
 func switch16(mask uint16) int {
 	switch mask {
 	case 0xFFFF:
@@ -158,6 +176,7 @@ func switch16(mask uint16) int {
 	}
 }
 
+//simdtree:hotpath
 func switch8(mask uint16) int {
 	switch mask {
 	case 0xFFFF:

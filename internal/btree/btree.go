@@ -76,13 +76,15 @@ type node[K keys.Key, V any] struct {
 
 func (n *node[K, V]) leaf() bool { return n.children == nil }
 
-// New returns an empty tree with the given configuration. It panics on an
-// invalid configuration (capacities below 2); NewChecked is the
-// error-returning form.
+// New returns an empty tree with the given configuration. It is the
+// Must-style wrapper over NewChecked: it panics on an invalid
+// configuration (capacities below 2), for callers using fixed known-good
+// configs. New code handling untrusted configuration should call
+// NewChecked.
 func New[K keys.Key, V any](cfg Config) *Tree[K, V] {
 	t, err := NewChecked[K, V](cfg)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //simdtree:allowpanic Must-style wrapper; NewChecked is the error-returning form
 	}
 	return t
 }
@@ -117,7 +119,14 @@ func (t *Tree[K, V]) Height() int {
 	return h
 }
 
+// The untraced Get descent is a zero-allocation hot path; the directive keeps the
+// //simdtree:hotpath annotations checked by cmd/simdvet.
+//
+//simdtree:kernels ^(Tree\.Get|lowerBound)$
+
 // Get returns the value stored under key, if present.
+//
+//simdtree:hotpath
 func (t *Tree[K, V]) Get(key K) (v V, ok bool) {
 	n := t.root
 	for !n.leaf() {
@@ -231,6 +240,8 @@ func (t *Tree[K, V]) Ascend(fn func(K, V) bool) {
 }
 
 // lowerBound returns the index of the first element ≥ v.
+//
+//simdtree:hotpath
 func lowerBound[K keys.Key](xs []K, v K) int {
 	lo, hi := 0, len(xs)
 	for lo < hi {

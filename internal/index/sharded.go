@@ -38,7 +38,7 @@ type shard[K keys.Key, V any] struct {
 // It panics when shardCount < 1.
 func NewSharded[K keys.Key, V any](shardCount int, newIndex func() Index[K, V]) *Sharded[K, V] {
 	if shardCount < 1 {
-		panic(fmt.Sprintf("index: shard count %d < 1", shardCount))
+		panic(fmt.Sprintf("index: shard count %d < 1", shardCount)) //simdtree:allowpanic configuration contract, documented above
 	}
 	s := &Sharded[K, V]{shards: make([]shard[K, V], shardCount)}
 	bits := uint(8 * keys.Width[K]())
@@ -56,15 +56,24 @@ func NewSharded[K keys.Key, V any](shardCount int, newIndex func() Index[K, V]) 
 // Shards reports the shard count.
 func (s *Sharded[K, V]) Shards() int { return len(s.shards) }
 
+// The untraced sharded Get is a zero-allocation hot path; the directive keeps the
+// //simdtree:hotpath annotations checked by cmd/simdvet.
+//
+//simdtree:kernels ^Sharded\.(Get|shardOf)$
+
 // shardOf routes a key to its shard: the top 32 bits of the
 // order-preserving key pattern scaled into [0, len(shards)). Monotone in
 // key order, so shard ranges partition the key space into ordered slabs.
+//
+//simdtree:hotpath
 func (s *Sharded[K, V]) shardOf(key K) int {
 	t := keys.OrderedBits(key) >> s.right << s.left
 	return int(t * uint64(len(s.shards)) >> 32)
 }
 
 // Get returns the value stored under key, if present.
+//
+//simdtree:hotpath
 func (s *Sharded[K, V]) Get(key K) (V, bool) {
 	sh := &s.shards[s.shardOf(key)]
 	sh.mu.RLock()

@@ -142,12 +142,23 @@ func TestShardedBatchCrossesShards(t *testing.T) {
 }
 
 func TestShardedPanicsOnBadCount(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for shard count 0")
-		}
-	}()
-	index.NewSharded[uint32, int](0, func() index.Index[uint32, int] {
+	newOne := func() index.Index[uint32, int] {
 		return segtree.NewDefault[uint32, int]()
-	})
+	}
+	for _, count := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for shard count %d", count)
+				}
+			}()
+			index.NewSharded[uint32, int](count, newOne)
+		}()
+	}
+	// The minimum valid count must construct a working single-shard index.
+	s := index.NewSharded[uint32, int](1, newOne)
+	s.Put(7, 70)
+	if v, ok := s.Get(7); !ok || v != 70 {
+		t.Fatalf("single-shard Get(7) = %d, %v; want 70, true", v, ok)
+	}
 }

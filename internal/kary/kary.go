@@ -108,13 +108,15 @@ func levels(n, k int) int {
 }
 
 // Build linearizes a sorted list of distinct keys into a k-ary search tree
-// with the given layout. The input slice is not retained. Build panics if
-// the keys are not strictly ascending (tree nodes hold distinct keys);
-// BuildChecked is the error-returning form.
+// with the given layout. The input slice is not retained. Build is the
+// Must-style wrapper over BuildChecked: it panics if the keys are not
+// strictly ascending (tree nodes hold distinct keys), for callers building
+// from literals or already-validated data. New code handling untrusted
+// input should call BuildChecked.
 func Build[K keys.Key](sorted []K, layout Layout) *Tree[K] {
 	t, err := BuildChecked(sorted, layout)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //simdtree:allowpanic Must-style wrapper; BuildChecked is the error-returning form
 	}
 	return t
 }
@@ -223,7 +225,7 @@ func (t *Tree[K]) pos(s int) int {
 // applying the layout's position transformation.
 func (t *Tree[K]) At(s int) K {
 	if s < 0 || s >= t.n {
-		panic(fmt.Sprintf("kary: index %d out of range [0,%d)", s, t.n))
+		panic(fmt.Sprintf("kary: index %d out of range [0,%d)", s, t.n)) //simdtree:allowpanic index contract, mirrors built-in slice indexing
 	}
 	return keys.GetAt[K](t.data, t.pos(s))
 }

@@ -413,3 +413,28 @@ func TestLookupEmptyAndMax(t *testing.T) {
 		t.Fatalf("beyond-max lookup: %d %v", rank, found)
 	}
 }
+
+// TestAtOutOfRangePanics pins the At index contract: like built-in slice
+// indexing, out-of-range positions panic rather than returning a zero
+// key that could be mistaken for data.
+func TestAtOutOfRangePanics(t *testing.T) {
+	tree := Build([]uint32{10, 20, 30, 40, 50}, BreadthFirst)
+	mustPanic := func(s int) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("At(%d): no panic for out-of-range index", s)
+			}
+		}()
+		tree.At(s)
+	}
+	mustPanic(-1)
+	mustPanic(5)
+	mustPanic(1 << 20)
+	// In-range indices must not panic and must return sorted-order keys.
+	for s, want := range []uint32{10, 20, 30, 40, 50} {
+		if got := tree.At(s); got != want {
+			t.Fatalf("At(%d): got %d want %d", s, got, want)
+		}
+	}
+}

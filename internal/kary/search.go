@@ -10,6 +10,12 @@ import (
 	"repro/internal/trace"
 )
 
+// The descent kernels below are the zero-allocation hot paths of the
+// paper's Algorithms 4 and 5; the directive keeps their
+// //simdtree:hotpath annotations checked by cmd/simdvet.
+//
+//simdtree:kernels ^(Tree\.(SearchPT|LookupPT|searchBF|searchDF|SearchWithEquality)|evaluate|clamp|firstSetLane)$
+
 // Search returns the index, in the original sorted order, of the first key
 // strictly greater than v — the same value binary search on the sorted list
 // yields, in [0, Len()]. It runs the paper's SIMD sequence once per k-ary
@@ -35,6 +41,8 @@ func (t *Tree[K]) SearchT(v K, ev bitmask.Evaluator, tr *trace.Trace) int {
 
 // SearchPT is SearchP with per-level trace recording into tr (nil records
 // nothing and costs one pointer comparison per level).
+//
+//simdtree:hotpath
 func (t *Tree[K]) SearchPT(v K, search simd.Search, ev bitmask.Evaluator, tr *trace.Trace) int {
 	obs.NodeVisits(1)
 	if t.n == 0 {
@@ -67,6 +75,8 @@ func (t *Tree[K]) SearchPT(v K, search simd.Search, ev bitmask.Evaluator, tr *tr
 // existing leaf, giving rank pLevel + m·(k−1) directly. The five-step
 // SIMD sequence of §2.1 (load, broadcast, compare, movemask, evaluate) is
 // written out in the loop body so it compiles to straight-line code.
+//
+//simdtree:hotpath
 func (t *Tree[K]) searchBF(search simd.Search, ev bitmask.Evaluator, tr *trace.Trace) int {
 	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
 	data := t.data
@@ -117,6 +127,8 @@ func (t *Tree[K]) laneStrings(keyIdx int) []string {
 // the paper's preferred popcount algorithm. It dispatches to the leaf
 // algorithms directly rather than through Evaluator.Evaluate so the
 // per-level observability hook fires exactly once per evaluation.
+//
+//simdtree:hotpath
 func evaluate(ev bitmask.Evaluator, mask uint16, w int) int {
 	obs.MaskEvals(1)
 	switch ev {
@@ -132,6 +144,8 @@ func evaluate(ev bitmask.Evaluator, mask uint16, w int) int {
 // searchDF is the paper's Algorithm 4: depth-first search using SIMD.
 // subSize tracks the per-child key capacity of the shrinking perfect
 // subtree; the key pointer jumps over the chosen number of subtrees.
+//
+//simdtree:hotpath
 func (t *Tree[K]) searchDF(search simd.Search, ev bitmask.Evaluator, tr *trace.Trace) int {
 	w, k, lanes := int(t.w), int(t.k), int(t.lanes)
 	data := t.data
@@ -184,6 +198,8 @@ func (t *Tree[K]) LookupT(v K, ev bitmask.Evaluator, tr *trace.Trace) (rank int,
 
 // LookupPT is LookupP with per-level trace recording into tr (nil records
 // nothing and costs one pointer comparison per level).
+//
+//simdtree:hotpath
 func (t *Tree[K]) LookupPT(v K, search simd.Search, ev bitmask.Evaluator, tr *trace.Trace) (rank int, found bool) {
 	obs.NodeVisits(1)
 	if t.n == 0 {
@@ -259,6 +275,7 @@ func (t *Tree[K]) LookupPT(v K, search simd.Search, ev bitmask.Evaluator, tr *tr
 	return clamp(pLevel*k+pos, t.n), found
 }
 
+//simdtree:hotpath
 func clamp(x, hi int) int {
 	if x > hi {
 		return hi
@@ -272,6 +289,8 @@ func clamp(x, hi int) int {
 // a hit. The paper expects no improvement for flat trees;
 // BenchmarkAblationEqualityCheck measures it. Only the breadth-first
 // layout is supported, matching the paper's discussion.
+//
+//simdtree:hotpath
 func (t *Tree[K]) SearchWithEquality(v K, ev bitmask.Evaluator) int {
 	if t.layout != BreadthFirst {
 		return t.Search(v, ev)
@@ -325,6 +344,8 @@ func (t *Tree[K]) SearchWithEquality(v K, ev bitmask.Evaluator) int {
 }
 
 // firstSetLane returns the index of the first lane whose mask bits are set.
+//
+//simdtree:hotpath
 func firstSetLane(mask uint16, width int) int {
 	i := 0
 	for mask&1 == 0 {

@@ -217,14 +217,14 @@ func (t *Tree[K, V]) merge(parent *node[K, V], j int) {
 // duplicate keys or mismatched slice lengths.
 func BulkLoad[K keys.Key, V any](cfg Config, ks []K, vs []V) *Tree[K, V] {
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		panic(err) //simdtree:allowpanic bulk-load input contract, documented above
 	}
 	if len(ks) != len(vs) {
-		panic(fmt.Sprintf("segtree: %d keys but %d values", len(ks), len(vs)))
+		panic(fmt.Sprintf("segtree: %d keys but %d values", len(ks), len(vs))) //simdtree:allowpanic bulk-load input contract, documented above
 	}
 	for i := 1; i < len(ks); i++ {
 		if ks[i-1] >= ks[i] {
-			panic(fmt.Sprintf("segtree: bulk-load keys not strictly ascending at index %d", i))
+			panic(fmt.Sprintf("segtree: bulk-load keys not strictly ascending at index %d", i)) //simdtree:allowpanic bulk-load input contract, documented above
 		}
 	}
 	t := New[K, V](cfg)

@@ -89,12 +89,14 @@ type node[K keys.Key, V any] struct {
 
 func (n *node[K, V]) leaf() bool { return n.children == nil }
 
-// New returns an empty tree with the given configuration. It panics on an
-// invalid configuration; NewChecked is the error-returning form.
+// New returns an empty tree with the given configuration. It is the
+// Must-style wrapper over NewChecked: it panics on an invalid
+// configuration, for callers using fixed known-good configs. New code
+// handling untrusted configuration should call NewChecked.
 func New[K keys.Key, V any](cfg Config) *Tree[K, V] {
 	t, err := NewChecked[K, V](cfg)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //simdtree:allowpanic Must-style wrapper; NewChecked is the error-returning form
 	}
 	return t
 }
@@ -129,8 +131,15 @@ func (t *Tree[K, V]) Height() int {
 	return h
 }
 
+// The untraced Get descent is a zero-allocation hot path; the directive keeps the
+// //simdtree:hotpath annotations checked by cmd/simdvet.
+//
+//simdtree:kernels ^Tree\.Get$
+
 // Get returns the value stored under key, if present. Navigation uses the
 // SIMD k-ary search in every node.
+//
+//simdtree:hotpath
 func (t *Tree[K, V]) Get(key K) (v V, ok bool) {
 	ev := t.cfg.Evaluator
 	search := kary.Prepare(key)

@@ -55,12 +55,21 @@ func (t *Optimized[K, V]) Levels() int { return t.levels }
 // Config returns the trie's configuration.
 func (t *Optimized[K, V]) Config() Config { return t.cfg }
 
+//
+//simdtree:hotpath
 func (t *Optimized[K, V]) segment(u uint64, level int) uint8 {
 	return uint8(u >> (8 * uint(t.levels-1-level)))
 }
 
+// The untraced Get descent is a zero-allocation hot path; the directive keeps the
+// //simdtree:hotpath annotations checked by cmd/simdvet.
+//
+//simdtree:kernels ^Optimized\.(Get|find|segment)$
+
 // find mirrors Trie.find: single-key and full nodes take the §4 fast
 // paths. tr, when non-nil, records the step taken.
+//
+//simdtree:hotpath
 func (t *Optimized[K, V]) find(n *onode[V], pk uint8, tr *trace.Trace) (idx int, ok bool) {
 	// As in Trie.find, only the fast paths record the visit themselves;
 	// the k-ary path is counted inside kt.Lookup.
@@ -105,6 +114,8 @@ func (t *Optimized[K, V]) find(n *onode[V], pk uint8, tr *trace.Trace) (idx int,
 }
 
 // Get returns the value stored under key, if present.
+//
+//simdtree:hotpath
 func (t *Optimized[K, V]) Get(key K) (v V, ok bool) {
 	if t.root == nil {
 		return v, false

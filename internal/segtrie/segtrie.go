@@ -86,8 +86,15 @@ func (t *Trie[K, V]) Levels() int { return t.levels }
 // Config returns the trie's configuration.
 func (t *Trie[K, V]) Config() Config { return t.cfg }
 
+// The untraced Get descent is a zero-allocation hot path; the directive keeps the
+// //simdtree:hotpath annotations checked by cmd/simdvet.
+//
+//simdtree:kernels ^Trie\.(Get|find|segment)$
+
 // segment extracts the 8-bit partial key of level from the
 // order-preserving bit pattern u.
+//
+//simdtree:hotpath
 func (t *Trie[K, V]) segment(u uint64, level int) uint8 {
 	return uint8(u >> (8 * uint(t.levels-1-level)))
 }
@@ -96,6 +103,8 @@ func (t *Trie[K, V]) segment(u uint64, level int) uint8 {
 // idx is the position of pk's child or value; on a miss, idx is the
 // insertion position. It applies the §4 fast paths: a single-key node is
 // compared directly and a full node is indexed without any search.
+//
+//simdtree:hotpath
 func (t *Trie[K, V]) find(n *node[V], pk uint8, tr *trace.Trace) (idx int, ok bool) {
 	// The general path's node visit is counted inside kt.Lookup; the fast
 	// paths below bypass the k-ary search, so they record the visit here.
@@ -142,6 +151,8 @@ func (t *Trie[K, V]) find(n *node[V], pk uint8, tr *trace.Trace) (idx int, ok bo
 // Get returns the value stored under key, if present. A missing partial
 // key terminates the search above leaf level — the trie's comparison-
 // saving advantage over tree structures (§4).
+//
+//simdtree:hotpath
 func (t *Trie[K, V]) Get(key K) (v V, ok bool) {
 	u := keys.OrderedBits(key)
 	n := t.root

@@ -19,6 +19,12 @@ import (
 // The produced mask is exactly the _mm_movemask_epi8 result: one bit per
 // byte, i.e. width bits per true lane.
 
+// Every fused kernel below runs once per visited node and is a
+// zero-allocation hot path; the directive keeps the //simdtree:hotpath
+// annotations checked by cmd/simdvet.
+//
+//simdtree:kernels ^(NewSearch|gtMask(8|16|32)|Search\.(GtMask|GtMaskEq|EqAny|EqMask))$
+
 // Search is a prepared search register for repeated greater-than compares
 // of one search key against packed nodes.
 type Search struct {
@@ -34,6 +40,8 @@ type Search struct {
 
 // NewSearch broadcasts the order-preserving (unsigned-order) bit pattern
 // of the search key and precomputes the compare terms.
+//
+//simdtree:hotpath
 func NewSearch(width int, orderedBits uint64) Search {
 	s := Search{width: width}
 	switch width {
@@ -69,6 +77,8 @@ const (
 
 // gtMask8 compares eight biased byte lanes of one half against the
 // prepared search and returns their byte mask bits.
+//
+//simdtree:hotpath
 func gtMask8(a uint64, sc uint64) uint32 {
 	te := (a & evenBytes) + sc
 	to := ((a >> 8) & evenBytes) + sc
@@ -78,6 +88,8 @@ func gtMask8(a uint64, sc uint64) uint32 {
 }
 
 // gtMask16 is gtMask8 for four 16-bit lanes (two mask bits per lane).
+//
+//simdtree:hotpath
 func gtMask16(a uint64, sc uint64) uint32 {
 	te := (a & evenWords) + sc
 	to := ((a >> 16) & evenWords) + sc
@@ -87,6 +99,8 @@ func gtMask16(a uint64, sc uint64) uint32 {
 }
 
 // gtMask32 is gtMask8 for two 32-bit lanes (four mask bits per lane).
+//
+//simdtree:hotpath
 func gtMask32(a uint64, sc uint64) uint32 {
 	tl := (a & lowDword) + sc
 	th := (a >> 32) + sc
@@ -96,6 +110,8 @@ func gtMask32(a uint64, sc uint64) uint32 {
 // GtMask loads one 16-byte node from b, compares every lane against the
 // prepared search key for greater-than, and returns the movemask — steps
 // 1, 3 and 4 of the paper's §2.1 sequence in one kernel.
+//
+//simdtree:hotpath
 func (s Search) GtMask(b []byte) uint16 {
 	obs.SIMDComparisons(1)
 	lo := binary.LittleEndian.Uint64(b)
@@ -123,6 +139,8 @@ func (s Search) GtMask(b []byte) uint16 {
 // prepared search key. It uses the classic has-zero-lane test on the XOR
 // of the operands — exact for existence — and costs three ALU operations
 // per register half.
+//
+//simdtree:hotpath
 func (s Search) EqAny(b []byte) bool {
 	obs.SIMDComparisons(1)
 	lo := binary.LittleEndian.Uint64(b)
@@ -147,6 +165,8 @@ func (s Search) EqAny(b []byte) bool {
 // node visit.
 // In the §4 cost model a fused visit is still one SIMD comparison — both
 // results come from the same loaded register pair — so it counts once.
+//
+//simdtree:hotpath
 func (s Search) GtMaskEq(b []byte) (mask uint16, eq bool) {
 	obs.SIMDComparisons(1)
 	lo := binary.LittleEndian.Uint64(b)
@@ -186,6 +206,8 @@ func (s Search) GtMaskEq(b []byte) (mask uint16, eq bool) {
 
 // EqMask is GtMask for lane equality, used by the §3.1 equality-check
 // extension.
+//
+//simdtree:hotpath
 func (s Search) EqMask(b []byte) uint16 {
 	obs.SIMDComparisons(1)
 	lo := binary.LittleEndian.Uint64(b)

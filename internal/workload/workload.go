@@ -145,7 +145,7 @@ func domainSize[K keys.Key]() (int, bool) {
 // consecutive-tuple-ID shape. It panics if n exceeds the domain of K.
 func Ascending[K keys.Key](n int) []K {
 	if d, ok := domainSize[K](); ok && n > d {
-		panic(fmt.Sprintf("workload: %d keys exceed the %d-value domain", n, d))
+		panic(fmt.Sprintf("workload: %d keys exceed the %d-value domain", n, d)) //simdtree:allowpanic experiment-generator domain validation
 	}
 	out := make([]K, n)
 	for i := range out {
@@ -159,7 +159,7 @@ func Ascending[K keys.Key](n int) []K {
 func FullDomain[K keys.Key]() []K {
 	d, ok := domainSize[K]()
 	if !ok {
-		panic("workload: FullDomain requires an 8- or 16-bit key type")
+		panic("workload: FullDomain requires an 8- or 16-bit key type") //simdtree:allowpanic experiment-generator domain validation
 	}
 	out := make([]K, d)
 	lo := int64(0)
@@ -176,7 +176,7 @@ func FullDomain[K keys.Key]() []K {
 // order.
 func UniformRandom[K keys.Key](rng *rand.Rand, n int) []K {
 	if d, ok := domainSize[K](); ok && n > d {
-		panic(fmt.Sprintf("workload: %d keys exceed the %d-value domain", n, d))
+		panic(fmt.Sprintf("workload: %d keys exceed the %d-value domain", n, d)) //simdtree:allowpanic experiment-generator domain validation
 	}
 	set := make(map[K]struct{}, n)
 	for len(set) < n {
@@ -196,15 +196,15 @@ func UniformRandom[K keys.Key](rng *rand.Rand, n int) []K {
 // both Seg-Trie variants to produce the expected level count").
 func SkewedDepth(rng *rand.Rand, n, depth int) []uint64 {
 	if depth < 1 || depth > 8 {
-		panic(fmt.Sprintf("workload: depth %d out of range [1,8]", depth))
+		panic(fmt.Sprintf("workload: depth %d out of range [1,8]", depth)) //simdtree:allowpanic experiment-generator domain validation
 	}
 	if n < 2 {
-		panic("workload: SkewedDepth needs at least 2 keys to pin the depth")
+		panic("workload: SkewedDepth needs at least 2 keys to pin the depth") //simdtree:allowpanic experiment-generator domain validation
 	}
 	// max is the largest value representable in depth segments.
 	max := ^uint64(0) >> (64 - 8*uint(depth))
 	if uint64(n-1) > max {
-		panic(fmt.Sprintf("workload: %d keys exceed depth-%d span", n, depth))
+		panic(fmt.Sprintf("workload: %d keys exceed depth-%d span", n, depth)) //simdtree:allowpanic experiment-generator domain validation
 	}
 	out := make([]uint64, n)
 	if max/2 < uint64(n) {

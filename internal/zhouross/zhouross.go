@@ -9,6 +9,12 @@
 //
 // They serve as additional baselines for the flat-array experiments and
 // ablation benchmarks.
+//
+// The shared search kernels below are zero-allocation hot paths; the
+// directive keeps their //simdtree:hotpath annotations checked by
+// cmd/simdvet.
+//
+//simdtree:kernels ^List\.(sequentialSearch|binarySearch|hybridSearch)$
 package zhouross
 
 import (
@@ -33,12 +39,14 @@ type List[K keys.Key] struct {
 	lmask  uint64
 }
 
-// New builds a Zhou-Ross searchable list from ascending keys. It panics
-// on unsorted input; NewChecked is the error-returning form.
+// New builds a Zhou-Ross searchable list from ascending keys. It is the
+// Must-style wrapper over NewChecked: it panics on unsorted input, for
+// callers constructing from literals or already-validated data. New code
+// handling untrusted input should call NewChecked.
 func New[K keys.Key](sorted []K) *List[K] {
 	l, err := NewChecked(sorted)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //simdtree:allowpanic Must-style wrapper; NewChecked is the error-returning form
 	}
 	return l
 }
@@ -124,10 +132,16 @@ func (l *List[K]) SequentialSearch(v K) int {
 // SequentialSearchTraced is SequentialSearch recording every register
 // probe into tr. A nil tr makes it exactly SequentialSearch.
 func (l *List[K]) SequentialSearchTraced(v K, tr *trace.Trace) int {
-	tr.SetStructure("zhouross-seq")
+	if tr != nil {
+		tr.SetStructure("zhouross-seq")
+	}
 	return l.sequentialSearch(v, tr)
 }
 
+// sequentialSearch is the shared traced/untraced scan kernel; the
+// untraced entry passes tr == nil and must stay allocation-free.
+//
+//simdtree:hotpath
 func (l *List[K]) sequentialSearch(v K, tr *trace.Trace) int {
 	n := len(l.keys)
 	if n == 0 {
@@ -168,10 +182,15 @@ func (l *List[K]) BinarySearch(v K) int {
 // BinarySearchTraced is BinarySearch recording every register probe into
 // tr. A nil tr makes it exactly BinarySearch.
 func (l *List[K]) BinarySearchTraced(v K, tr *trace.Trace) int {
-	tr.SetStructure("zhouross-bin")
+	if tr != nil {
+		tr.SetStructure("zhouross-bin")
+	}
 	return l.binarySearch(v, tr)
 }
 
+// binarySearch is the shared traced/untraced register-binary kernel.
+//
+//simdtree:hotpath
 func (l *List[K]) binarySearch(v K, tr *trace.Trace) int {
 	n := len(l.keys)
 	if n == 0 {
@@ -226,10 +245,15 @@ func (l *List[K]) HybridSearch(v K) int {
 // tr — the trace shows the binary phase's jumps turning into the scan
 // phase's consecutive offsets. A nil tr makes it exactly HybridSearch.
 func (l *List[K]) HybridSearchTraced(v K, tr *trace.Trace) int {
-	tr.SetStructure("zhouross-hyb")
+	if tr != nil {
+		tr.SetStructure("zhouross-hyb")
+	}
 	return l.hybridSearch(v, tr)
 }
 
+// hybridSearch is the shared traced/untraced hybrid kernel.
+//
+//simdtree:hotpath
 func (l *List[K]) hybridSearch(v K, tr *trace.Trace) int {
 	const crossover = 8 // registers; below this the scan wins
 	n := len(l.keys)

@@ -89,7 +89,7 @@ func buildOptions(opts []Option) options {
 // honour, naming the constructor that can.
 func (o *options) reject(constructor string) {
 	fail := func(opt, hint string) {
-		panic(fmt.Sprintf("simdtree: %s does not apply to %s; %s", opt, constructor, hint))
+		panic(fmt.Sprintf("simdtree: %s does not apply to %s; %s", opt, constructor, hint)) //simdtree:allowpanic misuse of the options API is a programming error, caught at construction
 	}
 	useNewIndex := "use NewIndex instead"
 	if o.structureSet {
@@ -171,7 +171,7 @@ func (o *options) segTreeConfig(forKey SegTreeConfig) SegTreeConfig {
 // segTrieConfig resolves options against the Seg-Trie defaults.
 func (o *options) segTrieConfig(constructor string) SegTrieConfig {
 	if o.leafCap > 0 || o.branchCap > 0 {
-		panic(fmt.Sprintf("simdtree: WithLeafCap/WithBranchCap do not apply to %s: trie nodes are fixed 256-way", constructor))
+		panic(fmt.Sprintf("simdtree: WithLeafCap/WithBranchCap do not apply to %s: trie nodes are fixed 256-way", constructor)) //simdtree:allowpanic misuse of the options API is a programming error, caught at construction
 	}
 	cfg := segtrie.DefaultConfig()
 	if o.layoutSet {
@@ -186,7 +186,7 @@ func (o *options) segTrieConfig(constructor string) SegTrieConfig {
 // bPlusTreeConfig resolves options against the B+-Tree defaults.
 func (o *options) bPlusTreeConfig(forKey BPlusTreeConfig, constructor string) BPlusTreeConfig {
 	if o.layoutSet || o.evaluatorSet {
-		panic(fmt.Sprintf("simdtree: WithLayout/WithEvaluator do not apply to %s: the baseline searches nodes with scalar binary search", constructor))
+		panic(fmt.Sprintf("simdtree: WithLayout/WithEvaluator do not apply to %s: the baseline searches nodes with scalar binary search", constructor)) //simdtree:allowpanic misuse of the options API is a programming error, caught at construction
 	}
 	cfg := forKey
 	if o.leafCap > 0 {
