@@ -6,6 +6,8 @@
 #   make bench-diff  - compare BENCH_segbench.json against the committed
 #                      baseline; non-zero exit on ns/op or bytes/key regression
 #   make bench-baseline - re-measure and overwrite BENCH_baseline.json
+#   make stress      - long race-enabled mixed read/write run against the
+#                      MVCC snapshot machinery (STRESS_OPS per worker)
 #   make fuzz        - 5 s smoke run of every fuzz target
 #   make fmt         - fail if any file is not gofmt-clean
 #   make analyze     - build cmd/simdvet and run the repo's own analyzers
@@ -18,6 +20,7 @@
 
 GO ?= go
 FUZZTIME ?= 5s
+STRESS_OPS ?= 50000
 
 # Pinned lint-tool versions: CI installs exactly these so that a new
 # upstream release cannot break or silently weaken the gate. Bump
@@ -36,7 +39,7 @@ FUZZ_TARGETS = \
 
 SERVE_ARGS ?= -structure opt-segtrie -shards 16 -preload 100000
 
-.PHONY: check vet fmt build test race fuzz bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-demo serve clean
+.PHONY: check vet fmt build test race stress fuzz bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-demo serve clean
 
 check: vet fmt build race fuzz analyze
 
@@ -55,6 +58,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Long mixed-load run over the MVCC snapshot machinery under the race
+# detector: concurrent writers rotate versions while readers pin
+# snapshots and assert isolation invariants. STRESS_OPS scales the per
+# worker operation count (the short default inside the tests is sized
+# for `make race`; CI runs this target with a much larger budget).
+stress:
+	SIMDTREE_STRESS_OPS=$(STRESS_OPS) $(GO) test -race -count=2 -timeout 20m \
+		-run 'TestMVCCStressMixedLoad|TestSnapshotUnderConcurrentWrites' \
+		./internal/index/ -v
 
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \

@@ -638,6 +638,87 @@ func BenchmarkShardedPut(b *testing.B) {
 	}
 }
 
+// BenchmarkGetUnderWrites measures read latency while a continuous
+// writer publishes mutations — the scenario the MVCC snapshot layer
+// exists for. Readers (RunParallel) issue random Gets against a
+// preloaded index; the "writes" variants run one background writer
+// mutating random preloaded keys for the whole measurement. Under the
+// global readers-writer lock every exclusive writer section stalls the
+// read fleet; the versioned and sharded indexes pin published versions
+// lock-free, so their reads should barely degrade. cmd/segbench
+// -experiment contention records the same comparison into BENCH JSON
+// for the benchdiff gate.
+func BenchmarkGetUnderWrites(b *testing.B) {
+	const preload = 1 << 16
+	type rw interface {
+		Get(uint64) (uint64, bool)
+		Put(uint64, uint64) bool
+	}
+	builders := []struct {
+		name string
+		mk   func() rw
+	}{
+		{"locked", func() rw {
+			return concurrent.NewLocked[uint64, uint64](btree.NewDefault[uint64, uint64]())
+		}},
+		{"versioned", func() rw {
+			return index.NewVersioned[uint64, uint64](func() index.Index[uint64, uint64] {
+				return btree.NewDefault[uint64, uint64]()
+			})
+		}},
+		{"sharded16", func() rw {
+			return index.NewSharded[uint64, uint64](16, func() index.Index[uint64, uint64] {
+				return btree.NewDefault[uint64, uint64]()
+			})
+		}},
+	}
+	for _, bd := range builders {
+		for _, writes := range []bool{false, true} {
+			name := bd.name + "/idle"
+			if writes {
+				name = bd.name + "/writes"
+			}
+			b.Run(name, func(b *testing.B) {
+				ix := bd.mk()
+				for i := uint64(0); i < preload; i++ {
+					ix.Put(i, i)
+				}
+				stop := make(chan struct{})
+				var writerWg sync.WaitGroup
+				if writes {
+					writerWg.Add(1)
+					go func() {
+						defer writerWg.Done()
+						rng := rand.New(rand.NewSource(977))
+						for i := uint64(0); ; i++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							ix.Put(rng.Uint64()%preload, i)
+						}
+					}()
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(int64(b.N)))
+					hits := 0
+					for pb.Next() {
+						if _, ok := ix.Get(rng.Uint64() % (2 * preload)); ok {
+							hits++
+						}
+					}
+					_ = hits
+				})
+				b.StopTimer()
+				close(stop)
+				writerWg.Wait()
+			})
+		}
+	}
+}
+
 // BenchmarkBatchedLookup compares one-at-a-time Get with the
 // level-synchronized GetBatch on a memory-bound 100 MB working set. The
 // batched descent overlaps independent node misses, which is where the

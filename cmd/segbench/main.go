@@ -7,8 +7,8 @@
 //	segbench -experiment batch -json BENCH_batch.json
 //
 // Experiments: table2, table3, fig9, fig10, fig11, memory, karysearch,
-// batch, sharded, all. With -json PATH, every measurement is also
-// written to PATH as a machine-readable JSON array (see
+// batch, sharded, contention, all. With -json PATH, every measurement is
+// also written to PATH as a machine-readable JSON array (see
 // internal/bench.Measurement).
 package main
 
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table2, table3, fig9, fig10, fig11, memory, karysearch, batch, sharded, all")
+		"which experiment to run: table2, table3, fig9, fig10, fig11, memory, karysearch, batch, sharded, contention, all")
 	probes := flag.Int("probes", 10000, "random searches per measurement (paper: 10,000)")
 	rounds := flag.Int("rounds", 3, "measurement rounds; fastest is reported")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -85,6 +85,11 @@ func main() {
 	if selected("sharded") {
 		any = true
 		run("Sharded", "sharded vs. global-lock concurrent puts", bench.Sharded(o))
+	}
+	if selected("contention") {
+		any = true
+		run("Contention", "reader latency with vs. without a concurrent writer",
+			bench.Contention(o))
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

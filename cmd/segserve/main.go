@@ -14,6 +14,7 @@
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'          # Prometheus 0.0.4 + runtime metrics
 //	curl 'localhost:8080/debug/vars'       # expvar JSON
+//	curl 'localhost:8080/debug/snapshot'   # MVCC state: versions, pinned readers, reclamation
 //	curl 'localhost:8080/debug/shape'      # structural-health report (?format=json)
 //	curl 'localhost:8080/debug/explain?key=42'          # one traced descent
 //	curl 'localhost:8080/debug/explain?key=42&format=json'
@@ -22,8 +23,10 @@
 //	curl 'localhost:8080/debug/tracerate'  # sampler stats; set with ?every=&slow=
 //
 // Keys are uint64, values are strings. The index is wrapped in
-// InstrumentedIndex (histograms + counters + trace sampling) and, with
-// -shards >= 2, a ShardedIndex, so concurrent requests are safe.
+// InstrumentedIndex (histograms + counters + trace sampling) over MVCC
+// snapshot publication — a VersionedIndex, or with -shards >= 2 a
+// ShardedIndex whose shards each publish versions — so concurrent
+// requests are safe and reads never take a lock.
 package main
 
 import (
@@ -104,8 +107,12 @@ func newServer(structure string, shards, preload int) (*server, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown structure %q (want segtree, segtrie, opt-segtrie or btree)", structure)
 	}
+	// WithSnapshots keeps the unsharded (-shards 1) server on the MVCC
+	// path too: every read pins a published version instead of locking,
+	// so reads never stall behind the writer. With >= 2 shards the
+	// sharded index is a per-shard snapshot publisher already.
 	ix := simdtree.NewInstrumentedIndex[uint64, string](
-		simdtree.WithStructure(s), simdtree.WithShards(shards))
+		simdtree.WithStructure(s), simdtree.WithShards(shards), simdtree.WithSnapshots())
 	for i := 0; i < preload; i++ {
 		ix.Put(uint64(i), strconv.Itoa(i))
 	}
@@ -125,9 +132,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/getbatch", s.handleGetBatch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/debug/shape", s.handleShape)
 	mux.HandleFunc("/debug/explain", s.handleExplain)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
@@ -253,6 +259,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := snap.Stats
 	fmt.Fprintf(w, "keys %d\nheight %d\nnodes %d\nmemory_bytes %d\nkey_memory_bytes %d\n",
 		st.Keys, st.Height, st.Nodes, st.MemoryBytes, st.KeyMemoryBytes)
+	if mv, ok := s.ix.MVCCInfo(); ok {
+		fmt.Fprintf(w, "version %d\nversions_published %d\nactive_snapshots %d\n",
+			mv.CurrentVersion(), mv.Published, mv.ActiveSnapshots)
+	}
 	c := snap.Counters
 	fmt.Fprintf(w, "simd_comparisons %d\nmask_evaluations %d\nnode_visits %d\nlevels_descended %d\nscalar_comparisons %d\n",
 		c.SIMDComparisons, c.MaskEvaluations, c.NodeVisits, c.LevelsDescended, c.ScalarComparisons)
@@ -268,9 +278,36 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.ix.WritePrometheus(w, "segserve")
 	obs.WriteRuntimeProm(w, "segserve_go")
+	if mv, ok := s.ix.MVCCInfo(); ok {
+		mv.WriteProm(w, "segserve_mvcc")
+	}
 	st := s.ix.Sampler().Stats()
 	fmt.Fprintf(w, "# TYPE segserve_trace_sampled_total counter\nsegserve_trace_sampled_total %d\n", st.Sampled)
 	fmt.Fprintf(w, "# TYPE segserve_trace_slow_total counter\nsegserve_trace_slow_total %d\n", st.Slow)
+}
+
+// handleHealthz answers liveness probes; the reported version number is
+// the index's highest published MVCC sequence, a cheap way to observe
+// write progress from the outside.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if mv, ok := s.ix.MVCCInfo(); ok {
+		fmt.Fprintf(w, "ok version=%d\n", mv.CurrentVersion())
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleSnapshot reports the MVCC publication state — per-shard version
+// sequence numbers, currently pinned reader epochs, retired versions
+// awaiting reclamation, and the publish/reclaim/clone counters — as
+// JSON.
+func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	mv, ok := s.ix.MVCCInfo()
+	if !ok {
+		http.Error(w, "index is not versioned", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, mv)
 }
 
 // handleShape walks the index and renders its structural-health report —

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -70,8 +71,77 @@ func TestServerEndpoints(t *testing.T) {
 			t.Errorf("/getbatch body %q missing %q", body, want)
 		}
 	}
-	if code, body := get(t, ts.URL+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || !strings.HasPrefix(body, "ok version=") {
 		t.Errorf("/healthz = %d %q", code, body)
+	}
+}
+
+// TestVersionObservability covers the write-progress surface: the MVCC
+// version number in /healthz and /stats advances with writes, and
+// /debug/snapshot reports the full publication state.
+func TestVersionObservability(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	version := func() uint64 {
+		t.Helper()
+		code, body := get(t, ts.URL+"/healthz")
+		if code != 200 {
+			t.Fatalf("/healthz = %d", code)
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(body, "ok version=%d", &v); err != nil {
+			t.Fatalf("/healthz body %q: %v", body, err)
+		}
+		return v
+	}
+
+	before := version()
+	if before == 0 {
+		t.Fatalf("version = 0 after preload, want > 0")
+	}
+	for i := 0; i < 3; i++ {
+		get(t, ts.URL+fmt.Sprintf("/put?key=%d&value=x", 1000+i))
+	}
+	if after := version(); after != before+3 {
+		t.Errorf("version advanced %d -> %d over 3 puts, want +3", before, after)
+	}
+
+	code, body := get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("/stats = %d", code)
+	}
+	for _, want := range []string{"version ", "versions_published ", "active_snapshots "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/stats missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/debug/snapshot")
+	if code != 200 {
+		t.Fatalf("/debug/snapshot = %d", code)
+	}
+	var mv simdtree.MVCCStats
+	if err := json.Unmarshal([]byte(body), &mv); err != nil {
+		t.Fatalf("/debug/snapshot did not parse: %v\n%s", err, body)
+	}
+	if len(mv.Versions) != 4 {
+		t.Errorf("/debug/snapshot versions = %v, want one per shard (4)", mv.Versions)
+	}
+	if mv.Published == 0 || mv.CurrentVersion() == 0 {
+		t.Errorf("/debug/snapshot reports no publications: %+v", mv)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE segserve_mvcc_current_version gauge",
+		"# TYPE segserve_mvcc_active_snapshots gauge",
+		"# TYPE segserve_mvcc_published_versions_total counter",
+		"# TYPE segserve_mvcc_reclaimed_versions_total counter",
+		"# TYPE segserve_mvcc_publish_latency_seconds histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/concurrent"
 	"repro/internal/index"
 	"repro/internal/keys"
+	"repro/internal/obs"
 	"repro/internal/zhouross"
 )
 
@@ -21,11 +22,12 @@ type Index[K Key, V any] = index.Index[K, V]
 // Index reports through IndexStats().
 type IndexStats = index.Stats
 
-// ShardedIndex key-range-partitions any Index across N shards with
-// per-shard readers-writer locks — the scalable concurrent write path
-// (writes to different key ranges proceed in parallel, unlike the single
-// global lock of LockedMap). Ordered operations stay ordered because the
-// partition follows key order.
+// ShardedIndex key-range-partitions any Index across N shards, each an
+// independent MVCC snapshot publisher — the scalable concurrent path:
+// writes to different key ranges proceed in parallel, and reads are
+// lock-free everywhere (each read pins its shard's published version).
+// Ordered operations stay ordered because the partition follows key
+// order.
 type ShardedIndex[K Key, V any] = index.Sharded[K, V]
 
 // NewShardedIndex builds a sharded index over shardCount instances
@@ -36,6 +38,55 @@ type ShardedIndex[K Key, V any] = index.Sharded[K, V]
 //	})
 func NewShardedIndex[K Key, V any](shardCount int, newIndex func() Index[K, V]) *ShardedIndex[K, V] {
 	return index.NewSharded[K, V](shardCount, newIndex)
+}
+
+// VersionedIndex wraps any single index in MVCC copy-on-write snapshot
+// publication: Get/GetBatch and every other read run lock-free against
+// an immutable published version while one writer at a time builds and
+// atomically publishes the next. It is the unsharded concurrent index;
+// combine with sharding via NewIndex(WithShards(n)), whose shards are
+// each a VersionedIndex already.
+type VersionedIndex[K Key, V any] = index.Versioned[K, V]
+
+// NewVersionedIndex wraps an index built by newIndex in MVCC snapshot
+// publication:
+//
+//	ix := simdtree.NewVersionedIndex[uint64, string](func() simdtree.Index[uint64, string] {
+//		return simdtree.NewSegTree[uint64, string]()
+//	})
+//
+// Every tree newIndex returns must start empty.
+func NewVersionedIndex[K Key, V any](newIndex func() Index[K, V]) *VersionedIndex[K, V] {
+	return index.NewVersioned[K, V](newIndex)
+}
+
+// IndexSnapshotView is a pinned, immutable read view of a versioned or
+// sharded index: every read observes exactly the version(s) pinned at
+// acquisition, lock-free, no matter how far concurrent writers advance
+// the live index. Release it when done.
+type IndexSnapshotView[K Key, V any] = index.Snapshot[K, V]
+
+// Snapshotter is satisfied by every index that can hand out pinned
+// copy-on-write read views: VersionedIndex and ShardedIndex directly,
+// and InstrumentedIndex via its ReadSnapshot method.
+type Snapshotter[K Key, V any] = index.Snapshotter[K, V]
+
+// MVCCStats is the point-in-time health of an index's snapshot
+// publication: current versions, pinned readers, retired versions, and
+// the publish/reclaim/clone counters with publish latency.
+type MVCCStats = obs.MVCCSnapshot
+
+// TakeSnapshot returns a pinned read view of ix when it publishes
+// versions (VersionedIndex, ShardedIndex, or an InstrumentedIndex over
+// either); ok is false otherwise. The caller must Release the view.
+func TakeSnapshot[K Key, V any](ix Index[K, V]) (*IndexSnapshotView[K, V], bool) {
+	switch t := ix.(type) {
+	case Snapshotter[K, V]:
+		return t.Snapshot(), true
+	case *InstrumentedIndex[K, V]:
+		return t.ReadSnapshot()
+	}
+	return nil, false
 }
 
 // ZhouRossList is a sorted list searchable with the three SIMD strategies

@@ -65,11 +65,21 @@ func TestGetIsAllocationFree(t *testing.T) {
 			}
 		}
 	}
-	// Sharded wrapper over each structure, default layout/evaluator.
+	// Sharded wrapper over each structure, default layout/evaluator. The
+	// shards are MVCC snapshot publishers, so this also covers the
+	// epoch-pinned read path.
 	for _, s := range structures {
 		variants = append(variants, variant{
 			name: s.String() + "/sharded",
 			opts: []simdtree.Option{simdtree.WithStructure(s), simdtree.WithShards(4)},
+		})
+	}
+	// Unsharded versioned wrapper: the epoch pin/release protocol itself
+	// must be allocation-free.
+	for _, s := range structures {
+		variants = append(variants, variant{
+			name: s.String() + "/versioned",
+			opts: []simdtree.Option{simdtree.WithStructure(s), simdtree.WithSnapshots()},
 		})
 	}
 
@@ -93,6 +103,22 @@ func TestGetIsAllocationFree(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Errorf("Get allocates %.1f times per hit+miss pair; the hot path must be allocation-free", allocs)
+			}
+			// Reads through a pinned snapshot share the same kernels and
+			// must stay allocation-free too (the pin itself happened at
+			// TakeSnapshot; Get is pure tree descent).
+			if snap, ok := simdtree.TakeSnapshot(ix); ok {
+				defer snap.Release()
+				if _, found := snap.Get(hit); !found {
+					t.Fatalf("snapshot Get(%d): expected hit", hit)
+				}
+				allocs = testing.AllocsPerRun(200, func() {
+					snap.Get(hit)
+					snap.Get(miss)
+				})
+				if allocs != 0 {
+					t.Errorf("snapshot Get allocates %.1f times per hit+miss pair", allocs)
+				}
 			}
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitmask"
@@ -575,4 +576,102 @@ func Sharded(o Options) string {
 	}
 	return FormatTable(
 		[]string{"Goroutines", "Locked put ns/op", "Sharded-16 put ns/op", "Speedup"}, rows)
+}
+
+// Contention measures read latency under a concurrent writer: four
+// reader goroutines issue random Gets against a preloaded index while a
+// continuous writer publishes mutations, compared with the same readers
+// running alone. The global readers-writer lock (concurrent.Locked)
+// stalls its readers behind every exclusive writer section; the MVCC
+// structures (Versioned, and Sharded whose shards are versioned) pin
+// published versions lock-free, so their reader latency should barely
+// move. The inner structure is the cheap-insert B+-Tree baseline so the
+// measurement isolates the concurrency scheme.
+func Contention(o Options) string {
+	const readers = 4
+	const preload = 1 << 16
+	opsPerReader := o.Probes
+	if opsPerReader > 50000 {
+		opsPerReader = 50000
+	}
+
+	type rw interface {
+		Get(uint64) (uint64, bool)
+		Put(uint64, uint64) bool
+	}
+	measure := func(mk func() rw, withWriter bool) float64 {
+		ix := mk()
+		for i := uint64(0); i < preload; i++ {
+			ix.Put(i, i)
+		}
+		var stop atomic.Bool
+		var writerWg sync.WaitGroup
+		if withWriter {
+			writerWg.Add(1)
+			go func() {
+				defer writerWg.Done()
+				rng := rand.New(rand.NewSource(o.Seed + 977))
+				for i := uint64(0); !stop.Load(); i++ {
+					ix.Put(rng.Uint64()%preload, i)
+				}
+			}()
+		}
+		hits := make([]int, readers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func(w int, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerReader; i++ {
+					if _, ok := ix.Get(rng.Uint64() % (2 * preload)); ok {
+						hits[w]++
+					}
+				}
+			}(w, o.Seed+int64(w))
+		}
+		wg.Wait()
+		el := time.Since(start)
+		stop.Store(true)
+		writerWg.Wait()
+		for _, h := range hits {
+			Sink += h
+		}
+		return float64(el.Nanoseconds()) / float64(readers*opsPerReader)
+	}
+
+	targets := []struct {
+		name string
+		mk   func() rw
+	}{
+		{"locked", func() rw {
+			return concurrent.NewLocked[uint64, uint64](btree.NewDefault[uint64, uint64]())
+		}},
+		{"versioned", func() rw {
+			return index.NewVersioned[uint64, uint64](func() index.Index[uint64, uint64] {
+				return btree.NewDefault[uint64, uint64]()
+			})
+		}},
+		{"sharded-16", func() rw {
+			return index.NewSharded[uint64, uint64](16, func() index.Index[uint64, uint64] {
+				return btree.NewDefault[uint64, uint64]()
+			})
+		}},
+	}
+	var rows [][]string
+	for _, tg := range targets {
+		idle := bestOf(o.Rounds, func() float64 { return measure(tg.mk, false) })
+		busy := bestOf(o.Rounds, func() float64 { return measure(tg.mk, true) })
+		o.Rec.Record(Measurement{Experiment: "contention", Structure: tg.name,
+			Class:  fmt.Sprintf("goroutines=%d,writer=off", readers),
+			Metric: "get", Value: idle, Unit: "ns/op"})
+		o.Rec.Record(Measurement{Experiment: "contention", Structure: tg.name,
+			Class:  fmt.Sprintf("goroutines=%d,writer=on", readers),
+			Metric: "get", Value: busy, Unit: "ns/op"})
+		rows = append(rows, []string{tg.name, Ns(idle), Ns(busy),
+			fmt.Sprintf("%+.1f%%", (busy/idle-1)*100)})
+	}
+	return FormatTable(
+		[]string{"Structure", "Readers-only get ns/op", "Under writer ns/op", "Degradation"}, rows)
 }

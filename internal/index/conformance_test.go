@@ -80,6 +80,17 @@ func makers() []maker {
 		maker{"sharded/segtrie", sharded(newTrie(kary.BreadthFirst, pc))},
 		maker{"sharded/opt-segtrie", sharded(newOpt(kary.BreadthFirst, pc))},
 	)
+	versioned := func(inner func() index.Index[uint32, int]) func() index.Index[uint32, int] {
+		return func() index.Index[uint32, int] {
+			return index.NewVersioned[uint32, int](inner)
+		}
+	}
+	ms = append(ms,
+		maker{"versioned/segtree", versioned(newSegTree(df, pc))},
+		maker{"versioned/btree", versioned(newBTree)},
+		maker{"versioned/segtrie", versioned(newTrie(kary.BreadthFirst, pc))},
+		maker{"versioned/opt-segtrie", versioned(newOpt(kary.BreadthFirst, pc))},
+	)
 	instrumented := func(inner func() index.Index[uint32, int], counters bool) func() index.Index[uint32, int] {
 		return func() index.Index[uint32, int] {
 			return index.NewInstrumented(inner(), counters)
@@ -91,6 +102,7 @@ func makers() []maker {
 		maker{"instrumented+counters/segtrie", instrumented(newTrie(kary.BreadthFirst, pc), true)},
 		maker{"instrumented+counters/opt-segtrie", instrumented(newOpt(kary.BreadthFirst, pc), true)},
 		maker{"instrumented/sharded/segtree", instrumented(sharded(newSegTree(df, pc)), true)},
+		maker{"instrumented/versioned/segtree", instrumented(versioned(newSegTree(df, pc)), true)},
 	)
 	return ms
 }

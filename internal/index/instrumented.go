@@ -273,16 +273,41 @@ func (ix *Instrumented[K, V]) IndexStats() Stats { return ix.inner.IndexStats() 
 // report, unchanged.
 func (ix *Instrumented[K, V]) Shape() shape.Report { return ix.inner.Shape() }
 
-// OpSnapshot is one operation's latency summary inside a Snapshot.
+// ReadSnapshot returns a pinned copy-on-write read view of the wrapped
+// index when it publishes versions (Versioned, or Sharded over versioned
+// shards); ok is false when the wrapped index is not versioned. Reads
+// through the returned view bypass the wrapper's histograms — the view
+// is the raw lock-free path. The caller must Release it. (The method
+// cannot be named Snapshot: that name is taken by the metrics snapshot
+// below.)
+func (ix *Instrumented[K, V]) ReadSnapshot() (*Snapshot[K, V], bool) {
+	if sn, ok := ix.inner.(Snapshotter[K, V]); ok {
+		return sn.Snapshot(), true
+	}
+	return nil, false
+}
+
+// MVCCInfo reports the wrapped index's snapshot-publication health when
+// it publishes versions; ok is false when it does not.
+func (ix *Instrumented[K, V]) MVCCInfo() (obs.MVCCSnapshot, bool) {
+	if r, ok := ix.inner.(MVCCReporter); ok {
+		return r.MVCCInfo(), true
+	}
+	return obs.MVCCSnapshot{}, false
+}
+
+// OpSnapshot is one operation's latency summary inside a MetricsSnapshot.
 type OpSnapshot struct {
 	Op        string                `json:"op"`
 	Histogram obs.HistogramSnapshot `json:"histogram"`
 }
 
-// Snapshot is a point-in-time view of everything an Instrumented index
-// records: per-op latency histograms, the attached cost-model counters
-// (zero-valued when none are attached) and the wrapped index's shape.
-type Snapshot struct {
+// MetricsSnapshot is a point-in-time view of everything an Instrumented
+// index records: per-op latency histograms, the attached cost-model
+// counters (zero-valued when none are attached) and the wrapped index's
+// shape. (The pinned copy-on-write read view of an index is the separate
+// Snapshot type — this one is metrics.)
+type MetricsSnapshot struct {
 	Ops      []OpSnapshot        `json:"ops"`
 	Counters obs.CounterSnapshot `json:"counters"`
 	Stats    Stats               `json:"stats"`
@@ -293,8 +318,8 @@ type Snapshot struct {
 // structural report is refreshed here — a full walk of the wrapped
 // index — so every snapshot (and every Prometheus scrape) carries
 // current fill and footprint figures.
-func (ix *Instrumented[K, V]) Snapshot() Snapshot {
-	s := Snapshot{Stats: ix.inner.IndexStats(), Shape: ix.inner.Shape()}
+func (ix *Instrumented[K, V]) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{Stats: ix.inner.IndexStats(), Shape: ix.inner.Shape()}
 	for _, op := range Ops {
 		s.Ops = append(s.Ops, OpSnapshot{Op: op.String(), Histogram: ix.hists[op].Read()})
 	}

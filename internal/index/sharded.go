@@ -2,18 +2,20 @@ package index
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/keys"
+	"repro/internal/obs"
 	"repro/internal/shape"
 	"repro/internal/trace"
 )
 
-// Sharded key-range-partitions any Index across a fixed number of shards,
-// each guarded by its own readers-writer lock. Writes to different key
-// ranges proceed in parallel, which is what the single global lock of
-// concurrent.Locked cannot do — Sharded is the module's scalable
-// concurrent write path.
+// Sharded key-range-partitions any Index across a fixed number of
+// shards, each an independent Versioned copy-on-write publisher. Writes
+// to different key ranges proceed in parallel — what the single global
+// lock of concurrent.Locked cannot do — and reads never take a lock at
+// all: each read pins its shard's currently published version through
+// the MVCC epoch protocol (see Versioned), so a heavy write stream on
+// one shard never stalls readers anywhere, including on that shard.
 //
 // The partition is by key range, not by hash: shard boundaries follow the
 // order-preserving bit pattern of the key (keys.OrderedBits), so shard 0
@@ -21,16 +23,11 @@ import (
 // (Min, Max, Ascend, Scan) therefore visit shards in key order and stay
 // ordered overall. Sharded itself satisfies Index.
 type Sharded[K keys.Key, V any] struct {
-	shards []shard[K, V]
+	shards []*Versioned[K, V]
 	// Routing: the top (up to) 32 bits of OrderedBits, scaled by the
 	// shard count. left/right pre-resolve the key-width-dependent shift.
 	right uint
 	left  uint
-}
-
-type shard[K keys.Key, V any] struct {
-	mu sync.RWMutex
-	ix Index[K, V]
 }
 
 // NewSharded partitions shardCount indexes built by newIndex. Each shard
@@ -40,7 +37,7 @@ func NewSharded[K keys.Key, V any](shardCount int, newIndex func() Index[K, V]) 
 	if shardCount < 1 {
 		panic(fmt.Sprintf("index: shard count %d < 1", shardCount)) //simdtree:allowpanic configuration contract, documented above
 	}
-	s := &Sharded[K, V]{shards: make([]shard[K, V], shardCount)}
+	s := &Sharded[K, V]{shards: make([]*Versioned[K, V], shardCount)}
 	bits := uint(8 * keys.Width[K]())
 	if bits >= 32 {
 		s.right = bits - 32
@@ -48,7 +45,7 @@ func NewSharded[K keys.Key, V any](shardCount int, newIndex func() Index[K, V]) 
 		s.left = 32 - bits
 	}
 	for i := range s.shards {
-		s.shards[i].ix = newIndex()
+		s.shards[i] = NewVersioned(newIndex)
 	}
 	return s
 }
@@ -71,15 +68,12 @@ func (s *Sharded[K, V]) shardOf(key K) int {
 	return int(t * uint64(len(s.shards)) >> 32)
 }
 
-// Get returns the value stored under key, if present.
+// Get returns the value stored under key, if present — lock-free against
+// the owning shard's published version.
 //
 //simdtree:hotpath
 func (s *Sharded[K, V]) Get(key K) (V, bool) {
-	sh := &s.shards[s.shardOf(key)]
-	sh.mu.RLock()
-	v, ok := sh.ix.Get(key)
-	sh.mu.RUnlock()
-	return v, ok
+	return s.shards[s.shardOf(key)].Get(key)
 }
 
 // GetTraced is Get additionally recording the shard routed to and the
@@ -90,50 +84,33 @@ func (s *Sharded[K, V]) GetTraced(key K, tr *trace.Trace) (V, bool) {
 	}
 	i := s.shardOf(key)
 	tr.Shard(i)
-	sh := &s.shards[i]
-	sh.mu.RLock()
-	v, ok := sh.ix.GetTraced(key, tr)
-	sh.mu.RUnlock()
-	return v, ok
+	return s.shards[i].GetTraced(key, tr)
 }
 
 // Contains reports whether key is present.
 func (s *Sharded[K, V]) Contains(key K) bool {
-	sh := &s.shards[s.shardOf(key)]
-	sh.mu.RLock()
-	ok := sh.ix.Contains(key)
-	sh.mu.RUnlock()
-	return ok
+	return s.shards[s.shardOf(key)].Contains(key)
 }
 
-// Put stores val under key, returning true when the key was new. Only the
-// owning shard is write-locked.
+// Put stores val under key, returning true when the key was new. Only
+// the owning shard's writer is serialized; readers everywhere continue
+// on published versions.
 func (s *Sharded[K, V]) Put(key K, val V) bool {
-	sh := &s.shards[s.shardOf(key)]
-	sh.mu.Lock()
-	added := sh.ix.Put(key, val)
-	sh.mu.Unlock()
-	return added
+	return s.shards[s.shardOf(key)].Put(key, val)
 }
 
 // Delete removes key, reporting whether it was present.
 func (s *Sharded[K, V]) Delete(key K) bool {
-	sh := &s.shards[s.shardOf(key)]
-	sh.mu.Lock()
-	removed := sh.ix.Delete(key)
-	sh.mu.Unlock()
-	return removed
+	return s.shards[s.shardOf(key)].Delete(key)
 }
 
 // Len reports the number of items across all shards. The count is a sum
-// of per-shard snapshots, exact only when no writer runs concurrently.
+// over per-shard pinned versions, exact only when no writer runs
+// concurrently.
 func (s *Sharded[K, V]) Len() int {
 	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		n += sh.ix.Len()
-		sh.mu.RUnlock()
+	for _, sh := range s.shards {
+		n += sh.Len()
 	}
 	return n
 }
@@ -141,12 +118,8 @@ func (s *Sharded[K, V]) Len() int {
 // Min returns the smallest key and its value; ok is false when empty.
 // Shards hold ascending key ranges, so the first non-empty shard wins.
 func (s *Sharded[K, V]) Min() (k K, v V, ok bool) {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		k, v, ok = sh.ix.Min()
-		sh.mu.RUnlock()
-		if ok {
+	for _, sh := range s.shards {
+		if k, v, ok = sh.Min(); ok {
 			return k, v, true
 		}
 	}
@@ -156,11 +129,7 @@ func (s *Sharded[K, V]) Min() (k K, v V, ok bool) {
 // Max returns the largest key and its value; ok is false when empty.
 func (s *Sharded[K, V]) Max() (k K, v V, ok bool) {
 	for i := len(s.shards) - 1; i >= 0; i-- {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		k, v, ok = sh.ix.Max()
-		sh.mu.RUnlock()
-		if ok {
+		if k, v, ok = s.shards[i].Max(); ok {
 			return k, v, true
 		}
 	}
@@ -168,20 +137,18 @@ func (s *Sharded[K, V]) Max() (k K, v V, ok bool) {
 }
 
 // Ascend calls fn for every item in ascending key order until fn returns
-// false. fn runs with the current shard's read lock held and must not
-// mutate the index.
+// false. Each shard's items come from one pinned version: fn runs with
+// no lock held and may take as long as it likes; it may even mutate the
+// index (mutations land in later versions, invisible to this walk).
 func (s *Sharded[K, V]) Ascend(fn func(K, V) bool) {
 	stopped := false
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		sh.ix.Ascend(func(k K, v V) bool {
+	for _, sh := range s.shards {
+		sh.Ascend(func(k K, v V) bool {
 			if !fn(k, v) {
 				stopped = true
 			}
 			return !stopped
 		})
-		sh.mu.RUnlock()
 		if stopped {
 			return
 		}
@@ -189,33 +156,29 @@ func (s *Sharded[K, V]) Ascend(fn func(K, V) bool) {
 }
 
 // Scan calls fn for every item with lo ≤ key ≤ hi in ascending key order
-// until fn returns false, visiting only the shards whose range intersects
-// [lo, hi]. fn runs with the current shard's read lock held and must not
-// mutate the index.
+// until fn returns false, visiting only the shards whose range
+// intersects [lo, hi]. The locking caveats of Ascend apply (none).
 func (s *Sharded[K, V]) Scan(lo, hi K, fn func(K, V) bool) {
 	if lo > hi {
 		return
 	}
 	stopped := false
 	for i := s.shardOf(lo); i <= s.shardOf(hi); i++ {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		sh.ix.Scan(lo, hi, func(k K, v V) bool {
+		s.shards[i].Scan(lo, hi, func(k K, v V) bool {
 			if !fn(k, v) {
 				stopped = true
 			}
 			return !stopped
 		})
-		sh.mu.RUnlock()
 		if stopped {
 			return
 		}
 	}
 }
 
-// GetBatch looks up many keys at once: probes are bucketed per shard, and
-// each involved shard is read-locked exactly once for one level-wise
-// batch descent of its underlying index. Results are in input order.
+// GetBatch looks up many keys at once: probes are bucketed per shard,
+// and each involved shard pins its published version exactly once for
+// one level-wise batch descent. Results are in input order.
 func (s *Sharded[K, V]) GetBatch(ks []K) ([]V, []bool) {
 	n := len(ks)
 	vals := make([]V, n)
@@ -237,10 +200,7 @@ func (s *Sharded[K, V]) GetBatch(ks []K) ([]V, []bool) {
 		for _, i := range idxs {
 			sub = append(sub, ks[i])
 		}
-		sh := &s.shards[si]
-		sh.mu.RLock()
-		sv, sf := sh.ix.GetBatch(sub)
-		sh.mu.RUnlock()
+		sv, sf := s.shards[si].GetBatch(sub)
 		for j, i := range idxs {
 			vals[i] = sv[j]
 			found[i] = sf[j]
@@ -259,11 +219,8 @@ func (s *Sharded[K, V]) ContainsBatch(ks []K) []bool {
 // height is the deepest shard.
 func (s *Sharded[K, V]) IndexStats() Stats {
 	var st Stats
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		st.Add(sh.ix.IndexStats())
-		sh.mu.RUnlock()
+	for _, sh := range s.shards {
+		st.Add(sh.IndexStats())
 	}
 	return st
 }
@@ -271,16 +228,13 @@ func (s *Sharded[K, V]) IndexStats() Stats {
 // Shape merges the per-shard structural reports: counts, bytes,
 // registers and histograms sum, levels take the deepest shard, and the
 // structure name is the first shard's prefixed with "sharded/". Each
-// shard is read-locked only for its own walk, so the merged report is a
-// per-shard-consistent composite, exact when no writer runs
+// shard's walk runs against its own pinned version, so the merged report
+// is a per-shard-consistent composite, exact when no writer runs
 // concurrently.
 func (s *Sharded[K, V]) Shape() shape.Report {
 	var rep shape.Report
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		r := sh.ix.Shape()
-		sh.mu.RUnlock()
+	for i, sh := range s.shards {
+		r := sh.Shape()
 		if i == 0 {
 			rep = shape.New("sharded/" + r.Structure)
 		}
@@ -289,3 +243,57 @@ func (s *Sharded[K, V]) Shape() shape.Report {
 	rep.Shards = len(s.shards)
 	return rep.Finalize()
 }
+
+// Snapshot returns a pinned read view spanning every shard: each shard's
+// currently published version pinned once, composed behind the same
+// key-range routing the live index uses. The composite is per-shard
+// consistent (shard versions are pinned one after another, not at one
+// global instant). The caller must Release it.
+func (s *Sharded[K, V]) Snapshot() *Snapshot[K, V] {
+	snap := &Snapshot[K, V]{
+		trees: make([]Index[K, V], len(s.shards)),
+		seqs:  make([]uint64, len(s.shards)),
+		slots: make([]*epochSlot, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		v, sl := sh.pin()
+		snap.trees[i] = v.tree
+		snap.seqs[i] = v.seq
+		snap.slots[i] = sl
+	}
+	snap.route = s.shardOf
+	return snap
+}
+
+// Versions reports each shard's currently published sequence number, in
+// shard order.
+func (s *Sharded[K, V]) Versions() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Version()
+	}
+	return out
+}
+
+// MVCCInfo merges the per-shard snapshot-publication health: versions
+// append in shard order, gauges and counters sum.
+func (s *Sharded[K, V]) MVCCInfo() obs.MVCCSnapshot {
+	var snap obs.MVCCSnapshot
+	for i, sh := range s.shards {
+		info := sh.MVCCInfo()
+		if i == 0 {
+			snap = info
+			continue
+		}
+		snap.Merge(info)
+	}
+	return snap
+}
+
+// Compile-time check: Sharded satisfies the full Index interface and the
+// snapshot-publication faces.
+var (
+	_ Index[uint32, int]       = (*Sharded[uint32, int])(nil)
+	_ Snapshotter[uint32, int] = (*Sharded[uint32, int])(nil)
+	_ MVCCReporter             = (*Sharded[uint32, int])(nil)
+)

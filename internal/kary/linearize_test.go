@@ -8,7 +8,7 @@ import (
 // TestPositionMapsAreBijections: for every geometry, the slot
 // transformation must map the sorted positions 0…n'−1 onto distinct slots
 // covering exactly the stored range — the property that makes
-// linearization invertible (DESIGN.md §7).
+// linearization invertible (DESIGN.md §8).
 func TestPositionMapsAreBijections(t *testing.T) {
 	for _, k := range []int{3, 5, 9, 17} {
 		for r := 1; r <= 4; r++ {

@@ -61,6 +61,16 @@ func (h *Histogram) Reset() {
 	h.sum.Store(0)
 }
 
+// Merge accumulates o into s bucket-wise — the aggregation used when
+// several publishers' histograms are reported as one.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.SumNanos += o.SumNanos
+}
+
 // Mean returns the average observed duration, or 0 with no observations.
 func (s HistogramSnapshot) Mean() time.Duration {
 	if s.Count == 0 {

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the observability surface of the MVCC snapshot layer
+// (internal/index.Versioned): lock-free counters for version publication
+// and reclamation plus the writer-publish latency histogram. The index
+// layer owns the live state (current version numbers, pinned readers,
+// retired versions) and reports it at read time through MVCCSnapshot, so
+// the hot paths carry no extra gauges — point-in-time quantities are
+// computed from the epoch slots when someone actually looks.
+
+// MVCC accumulates the publication-side counters of one copy-on-write
+// snapshot publisher. The zero value is ready to use; all methods are
+// safe for concurrent use, though in practice only the single writer of
+// a Versioned index touches them.
+type MVCC struct {
+	published atomic.Uint64
+	reclaimed atomic.Uint64
+	cloned    atomic.Uint64
+	latency   Histogram
+}
+
+// RecordPublish counts one published version and the time the writer
+// spent building and publishing it.
+func (m *MVCC) RecordPublish(d time.Duration) {
+	m.published.Add(1)
+	m.latency.Observe(d)
+}
+
+// RecordReclaim counts n superseded versions whose trees were handed
+// back to the writer or released to the collector after their last
+// pinned reader left.
+func (m *MVCC) RecordReclaim(n int) { m.reclaimed.Add(uint64(n)) }
+
+// RecordClone counts one full copy-on-write rebuild — the writer needed
+// a mutable tree while every retired version was still pinned.
+func (m *MVCC) RecordClone() { m.cloned.Add(1) }
+
+// Read returns the counter and latency state. The index layer fills in
+// the point-in-time fields (Versions, ActiveSnapshots, RetiredVersions)
+// it owns.
+func (m *MVCC) Read() MVCCSnapshot {
+	return MVCCSnapshot{
+		Published:      m.published.Load(),
+		Reclaimed:      m.reclaimed.Load(),
+		Cloned:         m.cloned.Load(),
+		PublishLatency: m.latency.Read(),
+	}
+}
+
+// MVCCSnapshot is a point-in-time view of one snapshot publisher — or,
+// after Merge, of a sharded group of them.
+type MVCCSnapshot struct {
+	// Versions holds the currently published version sequence number of
+	// every publisher (one entry per shard; a single entry unsharded).
+	Versions []uint64 `json:"versions"`
+	// ActiveSnapshots is the number of currently pinned readers: epoch
+	// slots holding a version open, whether a mid-flight Get or a
+	// long-lived Snapshot handle.
+	ActiveSnapshots int `json:"active_snapshots"`
+	// RetiredVersions counts superseded versions still held for pinned
+	// readers and not yet reclaimed.
+	RetiredVersions int `json:"retired_versions"`
+	// Published counts versions published since construction.
+	Published uint64 `json:"published_versions_total"`
+	// Reclaimed counts superseded versions reclaimed after draining.
+	Reclaimed uint64 `json:"reclaimed_versions_total"`
+	// Cloned counts full tree copies forced by long-pinned snapshots.
+	Cloned uint64 `json:"cloned_versions_total"`
+	// PublishLatency is the writer-side publish latency histogram.
+	PublishLatency HistogramSnapshot `json:"publish_latency"`
+}
+
+// Merge accumulates o into s: versions append, gauges and counters sum,
+// histograms add bucket-wise — the aggregation a sharded index uses.
+func (s *MVCCSnapshot) Merge(o MVCCSnapshot) {
+	s.Versions = append(s.Versions, o.Versions...)
+	s.ActiveSnapshots += o.ActiveSnapshots
+	s.RetiredVersions += o.RetiredVersions
+	s.Published += o.Published
+	s.Reclaimed += o.Reclaimed
+	s.Cloned += o.Cloned
+	s.PublishLatency.Merge(o.PublishLatency)
+}
+
+// CurrentVersion returns the highest published sequence across the
+// merged publishers, 0 when none.
+func (s MVCCSnapshot) CurrentVersion() uint64 {
+	var max uint64
+	for _, v := range s.Versions {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// WriteProm renders the snapshot in the Prometheus text format under the
+// given metric-name prefix: publication counters, the active-snapshot
+// and retired-version gauges, the current version, and the publish
+// latency histogram.
+func (s MVCCSnapshot) WriteProm(w io.Writer, prefix string) error {
+	for _, g := range []struct {
+		name string
+		v    uint64
+	}{
+		{"active_snapshots", uint64(s.ActiveSnapshots)},
+		{"retired_versions", uint64(s.RetiredVersions)},
+		{"current_version", s.CurrentVersion()},
+	} {
+		name := promName(prefix + "_" + g.name)
+		if _, err := io.WriteString(w, "# TYPE "+name+" gauge\n"); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, name+" "+utoa(g.v)+"\n"); err != nil {
+			return err
+		}
+	}
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"published_versions_total", "tree versions published by writers", s.Published},
+		{"reclaimed_versions_total", "superseded versions reclaimed after draining", s.Reclaimed},
+		{"cloned_versions_total", "full tree copies forced by pinned snapshots", s.Cloned},
+	} {
+		if err := WriteCounterProm(w, prefix+"_"+c.name, "", c.help, c.v); err != nil {
+			return err
+		}
+	}
+	return s.PublishLatency.HistogramProm(w, prefix+"_publish_latency_seconds", "",
+		"writer-side version build-and-publish latency")
+}
+
+// utoa formats an unsigned integer without importing strconv twice over;
+// small and allocation-light for the metrics path.
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

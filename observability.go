@@ -51,7 +51,7 @@ type InstrumentedIndex[K Key, V any] = index.Instrumented[K, V]
 
 // IndexSnapshot is everything an InstrumentedIndex records: per-op
 // latency histograms, cost-model counters and the index shape.
-type IndexSnapshot = index.Snapshot
+type IndexSnapshot = index.MetricsSnapshot
 
 // Op identifies one timed operation class of an InstrumentedIndex.
 type Op = index.Op

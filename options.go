@@ -68,6 +68,7 @@ type options struct {
 	leafCap      int
 	branchCap    int
 	shards       int
+	snapshots    bool
 	instrument   bool
 	counters     bool
 }
@@ -97,6 +98,9 @@ func (o *options) reject(constructor string) {
 	}
 	if o.shards > 0 {
 		fail("WithShards", useNewIndex+" or wrap with NewShardedIndex")
+	}
+	if o.snapshots {
+		fail("WithSnapshots", useNewIndex+" or wrap with NewVersionedIndex")
 	}
 	if o.instrument {
 		fail("WithInstrumentation", useNewIndex+" or NewInstrumentedIndex")
@@ -136,10 +140,21 @@ func WithStructure(s Structure) Option {
 }
 
 // WithShards makes NewIndex wrap the structure in a ShardedIndex with n
-// key-range shards (per-shard readers-writer locks; safe for concurrent
-// use). n < 2 means unsharded.
+// key-range shards (each an MVCC snapshot publisher: lock-free reads,
+// per-shard serialized writers; safe for concurrent use). n < 2 means
+// unsharded.
 func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
+}
+
+// WithSnapshots makes NewIndex wrap the structure in a VersionedIndex:
+// MVCC copy-on-write snapshot publication, under which every read runs
+// lock-free against an immutable published version and the index is safe
+// for concurrent use. WithShards(n ≥ 2) implies it — each shard is a
+// versioned publisher already — so the option matters for the unsharded
+// case.
+func WithSnapshots() Option {
+	return func(o *options) { o.snapshots = true }
 }
 
 // WithInstrumentation makes NewIndex wrap the structure in an
@@ -221,9 +236,14 @@ func NewIndex[K Key, V any](opts ...Option) Index[K, V] {
 		}
 	}
 	var ix Index[K, V]
-	if o.shards >= 2 {
+	switch {
+	case o.shards >= 2:
+		// Sharded shards are each a versioned snapshot publisher, so
+		// WithSnapshots is already implied.
 		ix = index.NewSharded[K, V](o.shards, newOne)
-	} else {
+	case o.snapshots:
+		ix = index.NewVersioned[K, V](newOne)
+	default:
 		ix = newOne()
 	}
 	if o.instrument {
