@@ -8,6 +8,10 @@
 #   make bench-baseline - re-measure and overwrite BENCH_baseline.json
 #   make stress      - long race-enabled mixed read/write run against the
 #                      MVCC snapshot machinery (STRESS_OPS per worker)
+#   make loadtest    - race-built segload smoke: the same mixed Spec
+#                      against the in-process sharded MVCC index and a
+#                      live segserve over HTTP (graceful-shutdown path
+#                      included)
 #   make fuzz        - 5 s smoke run of every fuzz target
 #   make fmt         - fail if any file is not gofmt-clean
 #   make analyze     - build cmd/simdvet and run the repo's own analyzers
@@ -39,7 +43,18 @@ FUZZ_TARGETS = \
 
 SERVE_ARGS ?= -structure opt-segtrie -shards 16 -preload 100000
 
-.PHONY: check vet fmt build test race stress fuzz bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-demo serve clean
+# The mixed-workload smoke spec: every op type, zipfian skew, 8 clients
+# against the snapshot-publishing sharded index — time-bounded so the
+# whole loadtest stays around five seconds.
+LOADTEST_SPEC ?= read=70,write=20,scan=5,batch=5;dist=zipfian:0.99;keys=5000;clients=8;dur=2s;warmup=200ms
+LOADTEST_ADDR ?= 127.0.0.1:18080
+
+# The workload rows recorded into BENCH JSON next to segbench's
+# microbenchmarks: op-bounded, so baseline and candidate always measure
+# the same number of operations.
+WORKLOAD_SPEC ?= read=70,write=20,scan=5,batch=5;dist=zipfian:0.99;keys=100000;clients=8;ops=200000
+
+.PHONY: check vet fmt build test race stress fuzz loadtest bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-demo serve clean
 
 check: vet fmt build race fuzz analyze
 
@@ -76,8 +91,26 @@ fuzz:
 		$(GO) test $$pkg -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME); \
 	done
 
+# Mixed-workload smoke under the race detector: the identical Spec runs
+# against the in-process index and against a freshly started segserve
+# over HTTP through internal/segclient. The server is stopped with
+# SIGTERM so the run also exercises graceful drain.
+loadtest:
+	$(GO) build -race -o bin/segload ./cmd/segload
+	$(GO) build -race -o bin/segserve ./cmd/segserve
+	./bin/segload -target inproc -structure segtree -shards 8 -sync versioned \
+		-spec '$(LOADTEST_SPEC)'
+	@./bin/segserve -addr $(LOADTEST_ADDR) -log-level warn & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	./bin/segload -target http -addr http://$(LOADTEST_ADDR) -wait 10s \
+		-spec '$(LOADTEST_SPEC)'; rc=$$?; \
+	kill -TERM $$pid && wait $$pid; \
+	trap - EXIT; exit $$rc
+
 bench:
 	$(GO) run ./cmd/segbench -json BENCH_segbench.json
+	$(GO) run ./cmd/segload -structure segtree -shards 8 -sync versioned \
+		-experiment mixed -spec '$(WORKLOAD_SPEC)' -json-append BENCH_segbench.json
 	$(GO) test -tags overheadgate -run '^TestTracerOffOverheadGate$$' -count=1 -v .
 
 # Regression gate on the measurement trajectory. Timings on shared
@@ -88,9 +121,13 @@ bench-diff: BENCH_segbench.json
 
 BENCH_segbench.json:
 	$(GO) run ./cmd/segbench -json BENCH_segbench.json
+	$(GO) run ./cmd/segload -structure segtree -shards 8 -sync versioned \
+		-experiment mixed -spec '$(WORKLOAD_SPEC)' -json-append BENCH_segbench.json
 
 bench-baseline:
 	$(GO) run ./cmd/segbench -json BENCH_baseline.json
+	$(GO) run ./cmd/segload -structure segtree -shards 8 -sync versioned \
+		-experiment mixed -spec '$(WORKLOAD_SPEC)' -json-append BENCH_baseline.json
 
 # The repo's own static-analysis suite (DESIGN.md §5c). simdvet is a
 # go-vet-compatible driver for four repo-specific analyzers: hotalloc

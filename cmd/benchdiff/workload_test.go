@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/driver"
+	"repro/internal/index"
+	"repro/internal/segtree"
+)
+
+// TestCompareWorkloadRows pins the contract between the mixed-workload
+// driver and benchdiff: Class:"workload" measurements pair and gate
+// through the existing matching logic, with no benchdiff changes. The
+// ns/op quantile rows gate; op counts (ops) and throughput (ops/s) are
+// ungated context, so a throughput drop alone never fails the gate.
+func TestCompareWorkloadRows(t *testing.T) {
+	d := compare(load(t, "testdata/old-workload.json"),
+		load(t, "testdata/new-workload-regressed.json"), defaults)
+
+	// read-p99 4000→6000 is +50%, over the 25% ns/op threshold. The
+	// throughput collapse (1.2M→0.4M ops/s) and the op-count drift are
+	// ungated; every other quantile moved under threshold.
+	if len(d.Regressions) != 1 {
+		t.Fatalf("regressions = %d, want 1 (read-p99): %+v", len(d.Regressions), d.Regressions)
+	}
+	r := d.Regressions[0]
+	if r.Key != "mixed/versioned-segtree-8shards/workload/read-p99" {
+		t.Errorf("regressed key = %q", r.Key)
+	}
+	if math.Abs(r.DeltaPct-50) > 1e-9 {
+		t.Errorf("read-p99 delta = %g%%, want +50%%", r.DeltaPct)
+	}
+	for _, row := range d.Rows {
+		if (row.Unit == "ops" || row.Unit == "ops/s") && row.Gated {
+			t.Errorf("ungated workload unit %q gates: %+v", row.Unit, row)
+		}
+	}
+	if len(d.Added)+len(d.Removed) != 0 {
+		t.Errorf("workload rows failed to pair: added=%v removed=%v", d.Added, d.Removed)
+	}
+}
+
+// TestDriverMeasurementsPair runs the actual driver and feeds its
+// Measurements output through compare twice, proving the rows the live
+// producer emits are pair-stable across runs — the criterion that
+// benchdiff gates workload latency without any changes to its matching
+// logic.
+func TestDriverMeasurementsPair(t *testing.T) {
+	runOnce := func() []bench.Measurement {
+		t.Helper()
+		tgt := driver.NewIndexTarget[uint64, string](index.NewVersioned[uint64, string](func() index.Index[uint64, string] {
+			return segtree.New[uint64, string](segtree.DefaultConfig[uint64]())
+		}))
+		spec, err := driver.ParseSpec("read=90,write=10;keys=500;clients=2;ops=3000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := driver.Run(context.Background(), tgt, spec, func(k uint64) string {
+			return strconv.FormatUint(k, 10)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Measurements("mixed-smoke", "versioned-segtree")
+	}
+	d := compare(runOnce(), runOnce(), defaults)
+	if len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("two identical-spec runs did not pair: added=%v removed=%v", d.Added, d.Removed)
+	}
+	gated, ungated := 0, 0
+	for _, r := range d.Rows {
+		if r.Gated {
+			gated++
+		} else {
+			ungated++
+		}
+	}
+	// read + write each emit p50/p99/p999 (gated) and an op count; plus
+	// throughput.
+	if gated != 6 || ungated != 3 {
+		t.Errorf("gated/ungated = %d/%d, want 6/3", gated, ungated)
+	}
+}

@@ -1,0 +1,179 @@
+// Command segload runs a declarative mixed workload (internal/driver)
+// against either an in-process index or a live segserve over HTTP, and
+// reports throughput with p50/p99/p999 latency per op type.
+//
+// The workload is one -spec string — op mix, key distribution, client
+// count, and an op budget or duration:
+//
+//	segload -spec 'read=95,write=5;dist=zipfian:0.99;clients=64'
+//	segload -target inproc -structure opt-segtrie -shards 16 -sync versioned
+//	segload -target http -addr http://localhost:8080 -wait 5s
+//
+// The same spec runs against both targets, so in-process and
+// over-the-wire numbers are directly comparable. Results print as a
+// table; -json writes them as BENCH measurement rows
+// (Class:"workload"), and -json-append merges them into an existing
+// BENCH file — e.g. BENCH_baseline.json — replacing rows with the same
+// key so cmd/benchdiff can gate mixed-workload latency alongside the
+// microbenchmarks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	simdtree "repro"
+	"repro/internal/bench"
+	"repro/internal/driver"
+	"repro/internal/segclient"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "segload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed flag set; split from main so tests can drive the
+// whole command without a process boundary.
+type config struct {
+	spec       string
+	target     string
+	addr       string
+	structure  string
+	shards     int
+	sync       string
+	load       bool
+	wait       time.Duration
+	json       string
+	jsonAppend string
+	experiment string
+}
+
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("segload", flag.ContinueOnError)
+	fs.StringVar(&cfg.spec, "spec", "", "workload spec, e.g. 'read=95,write=5;dist=zipfian:0.99;clients=64' (empty = defaults)")
+	fs.StringVar(&cfg.target, "target", "inproc", "backend: inproc (an index in this process) or http (a live segserve)")
+	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "segserve base URL for -target http")
+	fs.StringVar(&cfg.structure, "structure", "segtree", "inproc structure: segtree, segtrie, opt-segtrie, btree")
+	fs.IntVar(&cfg.shards, "shards", 1, "inproc key-range shards (>= 2; 1 disables sharding)")
+	fs.StringVar(&cfg.sync, "sync", "versioned", "inproc concurrency control: versioned (MVCC snapshots) or locked (RW lock)")
+	fs.BoolVar(&cfg.load, "load", true, "preload the whole key space before the measured run")
+	fs.DurationVar(&cfg.wait, "wait", 0, "wait up to this long for the HTTP target's /healthz before running")
+	fs.StringVar(&cfg.json, "json", "", "write the results as BENCH measurement JSON to this file")
+	fs.StringVar(&cfg.jsonAppend, "json-append", "", "merge the results into this existing BENCH measurement JSON file")
+	fs.StringVar(&cfg.experiment, "experiment", "mixed", "experiment label on the emitted measurements")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// structures maps the -structure flag to facade options, mirroring
+// segserve's flag of the same name.
+var structures = map[string]simdtree.Structure{
+	"segtree":     simdtree.StructureSegTree,
+	"segtrie":     simdtree.StructureSegTrie,
+	"opt-segtrie": simdtree.StructureOptimizedSegTrie,
+	"btree":       simdtree.StructureBPlusTree,
+}
+
+// buildTarget assembles the Target the spec runs against and the
+// structure label its measurements carry.
+func buildTarget(ctx context.Context, cfg config) (driver.Target[uint64, string], string, error) {
+	if cfg.target == "http" {
+		c := segclient.New(cfg.addr)
+		if cfg.wait > 0 {
+			if err := c.WaitReady(ctx, cfg.wait); err != nil {
+				return nil, "", err
+			}
+		}
+		return driver.NewSegserveTarget(ctx, c), "http-segserve", nil
+	}
+	if cfg.target != "inproc" {
+		return nil, "", fmt.Errorf("unknown -target %q (want inproc or http)", cfg.target)
+	}
+	st, ok := structures[cfg.structure]
+	if !ok {
+		return nil, "", fmt.Errorf("unknown -structure %q (want segtree, segtrie, opt-segtrie or btree)", cfg.structure)
+	}
+	label := cfg.sync + "-" + cfg.structure
+	if cfg.shards >= 2 {
+		label += "-" + strconv.Itoa(cfg.shards) + "shards"
+	}
+	switch cfg.sync {
+	case "locked":
+		// The RW-lock baseline wraps the bare structure; sharding is an
+		// MVCC-side composition, so -shards is rejected here.
+		if cfg.shards >= 2 {
+			return nil, "", fmt.Errorf("-sync locked does not compose with -shards %d", cfg.shards)
+		}
+		ix := simdtree.NewIndex[uint64, string](simdtree.WithStructure(st))
+		return driver.NewLockedTarget(ix), label, nil
+	case "versioned":
+		ix := simdtree.NewIndex[uint64, string](
+			simdtree.WithStructure(st), simdtree.WithShards(cfg.shards), simdtree.WithSnapshots())
+		return driver.NewIndexTarget(ix), label, nil
+	default:
+		return nil, "", fmt.Errorf("unknown -sync %q (want versioned or locked)", cfg.sync)
+	}
+}
+
+func value(k uint64) string { return strconv.FormatUint(k, 10) }
+
+func run(args []string, out *os.File) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	spec, err := driver.ParseSpec(cfg.spec)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	tgt, structure, err := buildTarget(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.load {
+		start := time.Now()
+		if err := driver.Load(tgt, spec.Keys, spec.Clients, value); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %d keys in %v\n", spec.Keys, time.Since(start).Round(time.Millisecond))
+	}
+	res, err := driver.Run(ctx, tgt, spec, value)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res)
+
+	if cfg.json != "" || cfg.jsonAppend != "" {
+		ms := res.Measurements(cfg.experiment, structure)
+		if cfg.json != "" {
+			rec := &bench.Recorder{}
+			for _, m := range ms {
+				rec.Record(m)
+			}
+			if err := rec.WriteJSONFile(cfg.json); err != nil {
+				return err
+			}
+		}
+		if cfg.jsonAppend != "" {
+			if err := bench.AppendJSONFile(cfg.jsonAppend, ms); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func readRows(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestRunInprocBothSyncs drives the whole command end to end for both
+// concurrency controls and checks the emitted BENCH JSON shape.
+func TestRunInprocBothSyncs(t *testing.T) {
+	for _, sync := range []string{"versioned", "locked"} {
+		t.Run(sync, func(t *testing.T) {
+			jsonPath := filepath.Join(t.TempDir(), "out.json")
+			args := []string{
+				"-target", "inproc", "-structure", "segtree", "-sync", sync,
+				"-spec", "read=80,write=20;keys=500;clients=4;ops=4000",
+				"-json", jsonPath, "-experiment", "smoke",
+			}
+			if err := run(args, os.Stdout); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+			rows := readRows(t, jsonPath)
+			if len(rows) == 0 {
+				t.Fatal("no measurements written")
+			}
+			wantStructure := sync + "-segtree"
+			metrics := map[string]bool{}
+			for _, r := range rows {
+				if r["class"] != "workload" || r["experiment"] != "smoke" || r["structure"] != wantStructure {
+					t.Errorf("row mislabelled: %v", r)
+				}
+				metrics[r["metric"].(string)] = true
+			}
+			for _, want := range []string{"read-p50", "read-p99", "read-p999", "write-p99", "throughput"} {
+				if !metrics[want] {
+					t.Errorf("missing metric %q in %v", want, metrics)
+				}
+			}
+		})
+	}
+}
+
+// TestRunJSONAppendMergesBaseline checks the -json-append path replaces
+// matching rows and preserves unrelated ones — the BENCH_baseline.json
+// update flow.
+func TestRunJSONAppendMergesBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	seed := `[{"experiment":"search","structure":"segtree","class":"uniform","metric":"lookup","value":123,"unit":"ns/op"}]`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-spec", "read=100;keys=200;clients=2;ops=1000",
+		"-json-append", path, "-experiment", "mixed",
+	}
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	rows := readRows(t, path)
+	var classes []string
+	for _, r := range rows {
+		classes = append(classes, r["class"].(string))
+	}
+	sort.Strings(classes)
+	if classes[0] != "uniform" {
+		t.Errorf("pre-existing microbenchmark row lost: %v", rows)
+	}
+	if classes[len(classes)-1] != "workload" {
+		t.Errorf("no workload rows appended: %v", rows)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-target", "carrier-pigeon"},
+		{"-structure", "skiplist"},
+		{"-sync", "hopeful"},
+		{"-sync", "locked", "-shards", "4"},
+		{"-spec", "read=0,write=0"},
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// stubServe is a minimal in-memory segserve: just enough of the HTTP
+// contract for the driver's full op mix, so the -target http path is
+// tested without importing the real server.
+func stubServe(t *testing.T) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	data := map[uint64]string{}
+	key := func(r *http.Request, name string) (uint64, error) {
+		return strconv.ParseUint(r.URL.Query().Get(name), 10, 64)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
+		k, err := key(r, "key")
+		if err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		mu.Lock()
+		v, ok := data[k]
+		mu.Unlock()
+		if !ok {
+			http.Error(w, "not found", 404)
+			return
+		}
+		fmt.Fprintln(w, v)
+	})
+	mux.HandleFunc("/put", func(w http.ResponseWriter, r *http.Request) {
+		k, err := key(r, "key")
+		if err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		mu.Lock()
+		data[k] = r.URL.Query().Get("value")
+		mu.Unlock()
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/getbatch", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, p := range strings.Split(r.URL.Query().Get("keys"), ",") {
+			k, err := strconv.ParseUint(p, 10, 64)
+			if err != nil {
+				http.Error(w, err.Error(), 400)
+				return
+			}
+			if v, ok := data[k]; ok {
+				fmt.Fprintf(w, "%d %s\n", k, v)
+			} else {
+				fmt.Fprintf(w, "%d MISSING\n", k)
+			}
+		}
+	})
+	mux.HandleFunc("/scan", func(w http.ResponseWriter, r *http.Request) {
+		lo, err1 := key(r, "lo")
+		hi, err2 := key(r, "hi")
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad range", 400)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		var ks []uint64
+		for k := range data {
+			if lo <= k && k <= hi {
+				ks = append(ks, k)
+			}
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		for _, k := range ks {
+			fmt.Fprintf(w, "%d %s\n", k, data[k])
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunHTTPTarget(t *testing.T) {
+	ts := stubServe(t)
+	args := []string{
+		"-target", "http", "-addr", ts.URL, "-wait", "2s",
+		"-spec", "read=50,write=40,scan=5,batch=5;keys=100;clients=2;ops=600;batchsize=3;scanlen=4",
+	}
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatalf("run over HTTP stub: %v", err)
+	}
+}
+
+func TestRunHTTPTargetWaitFails(t *testing.T) {
+	args := []string{"-target", "http", "-addr", "http://127.0.0.1:1", "-wait", "100ms"}
+	if err := run(args, os.Stdout); err == nil {
+		t.Fatal("dead HTTP target accepted")
+	}
+}
+
+func TestBuildTargetLabels(t *testing.T) {
+	cfg := config{target: "inproc", structure: "opt-segtrie", shards: 8, sync: "versioned"}
+	_, label, err := buildTarget(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "versioned-opt-segtrie-8shards" {
+		t.Errorf("label = %q", label)
+	}
+}

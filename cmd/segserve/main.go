@@ -11,6 +11,7 @@
 //	curl 'localhost:8080/put?key=42&value=answer'
 //	curl 'localhost:8080/get?key=42'
 //	curl 'localhost:8080/getbatch?keys=1,2,42'
+//	curl 'localhost:8080/scan?lo=10&hi=20&limit=5'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'          # Prometheus 0.0.4 + runtime metrics
 //	curl 'localhost:8080/debug/vars'       # expvar JSON
@@ -30,16 +31,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	simdtree "repro"
@@ -56,6 +62,8 @@ func main() {
 	traceRate := flag.Int("trace-rate", 1024, "trace 1 in this many gets (0 disables sampling)")
 	slowThreshold := flag.Duration("slow-threshold", time.Millisecond,
 		"sampled gets at least this slow enter the slow-op log (0 disables)")
+	drain := flag.Duration("drain", 10*time.Second,
+		"how long to wait for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel)
@@ -75,9 +83,45 @@ func main() {
 	logger.Info("serving",
 		"structure", *structure, "shards", *shards, "addr", *addr,
 		"preloaded", *preload, "trace_rate", *traceRate, "slow_threshold", *slowThreshold)
-	err = http.ListenAndServe(*addr, s.handler(logger))
-	logger.Error("server exited", "err", err)
-	os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: s.handler(logger)}
+	if err := runServer(ctx, srv, ln, *drain, logger); err != nil {
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
+	}
+}
+
+// runServer serves srv on ln until ctx is cancelled (a shutdown
+// signal), then drains in-flight requests via http.Server.Shutdown with
+// the given timeout. A nil return is a clean drain; requests still open
+// at the deadline are cut off and the Shutdown error returned. Split
+// from main so the drain path is testable.
+func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, logger *slog.Logger) error {
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down", "drain", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain incomplete after %v: %w", drain, err)
+	}
+	logger.Info("drained cleanly")
+	return nil
 }
 
 // newLogger builds a text slog.Logger at the named level.
@@ -130,6 +174,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/put", s.handlePut)
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/getbatch", s.handleGetBatch)
+	mux.HandleFunc("/scan", s.handleScan)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -254,6 +299,35 @@ func (s *server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleScan streams the [lo, hi] range in key order as "key value"
+// lines, at most limit of them (default 1000).
+func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lo, err := strconv.ParseUint(q.Get("lo"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad or missing lo parameter: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	hi, err := strconv.ParseUint(q.Get("hi"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad or missing hi parameter: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit := 1000
+	if ls := q.Get("limit"); ls != "" {
+		if limit, err = strconv.Atoi(ls); err != nil || limit < 1 {
+			http.Error(w, "bad limit parameter (want a positive integer)", http.StatusBadRequest)
+			return
+		}
+	}
+	n := 0
+	s.ix.Scan(lo, hi, func(k uint64, v string) bool {
+		fmt.Fprintf(w, "%d %s\n", k, v)
+		n++
+		return n < limit
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.ix.Snapshot()
 	st := snap.Stats
@@ -270,6 +344,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if op.Histogram.Count > 0 {
 			fmt.Fprintf(w, "op_%s_count %d\nop_%s_mean_ns %d\n",
 				op.Op, op.Histogram.Count, op.Op, op.Histogram.Mean().Nanoseconds())
+			// The same interpolated quantiles the workload driver reports,
+			// so server-side and client-side latency line up by name.
+			fmt.Fprintf(w, "op_%s_p50_ns %g\nop_%s_p99_ns %g\nop_%s_p999_ns %g\n",
+				op.Op, op.Histogram.QuantileNanos(0.50),
+				op.Op, op.Histogram.QuantileNanos(0.99),
+				op.Op, op.Histogram.QuantileNanos(0.999))
 		}
 	}
 }

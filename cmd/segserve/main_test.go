@@ -1,16 +1,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	simdtree "repro"
+	"repro/internal/driver"
+	"repro/internal/segclient"
 )
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
@@ -339,6 +345,210 @@ func TestRequestLogging(t *testing.T) {
 	} {
 		if !strings.Contains(logs, want) {
 			t.Errorf("request log missing %q in:\n%s", want, logs)
+		}
+	}
+}
+
+func TestScanEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, body := get(t, ts.URL+"/scan?lo=10&hi=14")
+	if code != 200 {
+		t.Fatalf("/scan = %d", code)
+	}
+	if want := "10 10\n11 11\n12 12\n13 13\n14 14\n"; body != want {
+		t.Errorf("/scan body = %q, want %q", body, want)
+	}
+	// The limit truncates an over-wide range.
+	code, body = get(t, ts.URL+"/scan?lo=0&hi=99&limit=3")
+	if code != 200 || body != "0 0\n1 1\n2 2\n" {
+		t.Errorf("/scan limited = %d %q", code, body)
+	}
+	// An empty range is an empty 200, not an error.
+	if code, body := get(t, ts.URL+"/scan?lo=5000&hi=6000"); code != 200 || body != "" {
+		t.Errorf("/scan empty range = %d %q", code, body)
+	}
+	for _, bad := range []string{
+		"/scan?hi=5", "/scan?lo=5", "/scan?lo=x&hi=5", "/scan?lo=0&hi=5&limit=0",
+	} {
+		if code, _ := get(t, ts.URL+bad); code != 400 {
+			t.Errorf("%s = %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestStatsQuantiles checks /stats reports the interpolated latency
+// quantiles per op, matching what the workload driver computes
+// client-side.
+func TestStatsQuantiles(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 20; i++ {
+		get(t, ts.URL+"/get?key=7")
+	}
+	code, body := get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("/stats = %d", code)
+	}
+	for _, want := range []string{"op_get_p50_ns ", "op_get_p99_ns ", "op_get_p999_ns "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/stats missing %q:\n%s", want, body)
+		}
+	}
+	var p50, p99 float64
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, "op_get_p50_ns "); ok {
+			fmt.Sscanf(v, "%g", &p50)
+		}
+		if v, ok := strings.CutPrefix(line, "op_get_p99_ns "); ok {
+			fmt.Sscanf(v, "%g", &p99)
+		}
+	}
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("/stats quantiles not sane: p50=%g p99=%g\n%s", p50, p99, body)
+	}
+}
+
+// TestGracefulShutdown covers the drain path: a request in flight when
+// the shutdown signal lands still completes, runServer returns nil, and
+// new connections are refused afterwards.
+func TestGracefulShutdown(t *testing.T) {
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		<-release
+		fmt.Fprintln(w, "done")
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{Handler: mux}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	done := make(chan error, 1)
+	go func() { done <- runServer(ctx, srv, ln, 5*time.Second, logger) }()
+
+	reqErr := make(chan error, 1)
+	reqBody := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		reqBody <- string(b)
+	}()
+
+	<-inFlight // the slow request is being served
+	cancel()   // deliver the "shutdown signal"
+	// Shutdown must wait for the in-flight request; release it shortly
+	// after and both the request and the server must finish cleanly.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("runServer returned %v with a request still in flight", err)
+	default:
+	}
+	close(release)
+
+	select {
+	case body := <-reqBody:
+		if strings.TrimSpace(body) != "done" {
+			t.Errorf("in-flight request body = %q", body)
+		}
+	case err := <-reqErr:
+		t.Errorf("in-flight request failed during drain: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("runServer = %v, want clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runServer never returned after drain")
+	}
+	if _, err := http.Get("http://" + ln.Addr().String() + "/slow"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+// TestShutdownDeadlineExpires pins the other half of the contract: a
+// request that outlives the drain timeout makes runServer report the
+// incomplete drain instead of hanging.
+func TestShutdownDeadlineExpires(t *testing.T) {
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		<-release
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	done := make(chan error, 1)
+	go func() {
+		done <- runServer(ctx, &http.Server{Handler: mux}, ln, 20*time.Millisecond, logger)
+	}()
+	go http.Get("http://" + ln.Addr().String() + "/stuck")
+	<-inFlight
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "drain incomplete") {
+			t.Errorf("runServer = %v, want drain-incomplete error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runServer hung past its drain deadline")
+	}
+}
+
+// TestDriverOverHTTP is the end-to-end path the load harness uses: the
+// mixed-workload driver running through segclient and SegserveTarget
+// against this server's mux, exercising every op type including /scan
+// and /getbatch.
+func TestDriverOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := segclient.New(ts.URL)
+	ctx := context.Background()
+	if err := c.WaitReady(ctx, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tgt := driver.NewSegserveTarget(ctx, c)
+	spec, err := driver.ParseSpec("read=40,write=40,scan=10,batch=10;keys=100;clients=4;ops=1200;batchsize=4;scanlen=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := driver.Run(ctx, tgt, spec, func(k uint64) string {
+		return "v" + strconv.FormatUint(k, 10)
+	})
+	if err != nil {
+		t.Fatalf("Run over HTTP: %v", err)
+	}
+	if res.Total != 1200 || res.Errors != 0 {
+		t.Fatalf("HTTP run total=%d errors=%d, want 1200/0", res.Total, res.Errors)
+	}
+	for _, op := range res.Ops {
+		if op.Count == 0 {
+			t.Errorf("op %s got no traffic over HTTP", op.Op)
+		}
+	}
+	// The server saw the traffic too: its stats report the op counts.
+	_, body := get(t, ts.URL+"/stats")
+	for _, want := range []string{"op_get_count ", "op_put_count ", "op_get_p50_ns "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("server stats after driver run missing %q:\n%s", want, body)
 		}
 	}
 }

@@ -38,8 +38,16 @@ func main() {
 		sorted[i] = int64(i + 1)
 	}
 
-	bf := kary.Build(sorted, kary.BreadthFirst)
-	df := kary.Build(sorted, kary.DepthFirst)
+	bf, err := kary.BuildChecked(sorted, kary.BreadthFirst)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treedump: %v\n", err)
+		os.Exit(1)
+	}
+	df, err := kary.BuildChecked(sorted, kary.DepthFirst)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treedump: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *shapeMode {
 		// Shape summary mode: per-level fill, register utilization and the

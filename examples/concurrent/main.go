@@ -25,7 +25,7 @@ func main() {
 		ks[i] = uint64(i) * 3
 		vs[i] = uint64(i)
 	}
-	base := simdtree.BulkLoadSegTree(simdtree.DefaultSegTreeConfig[uint64](), ks, vs)
+	base := simdtree.BulkLoadSegTree(ks, vs)
 
 	// Phase 1: lock-free parallel reads on the immutable index.
 	probes := make([]uint64, 400_000)

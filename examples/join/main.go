@@ -45,7 +45,7 @@ func main() {
 		facts[i] = order{Customer: k, Amount: rng.Intn(500)}
 	}
 
-	segIdx := simdtree.BulkLoadSegTree(simdtree.DefaultSegTreeConfig[uint64](), custKeys, custVals)
+	segIdx := simdtree.BulkLoadSegTree(custKeys, custVals)
 	trieIdx := simdtree.NewOptimizedSegTrie[uint64, customer]()
 	for i, k := range custKeys {
 		trieIdx.Put(k, custVals[i])

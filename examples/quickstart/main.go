@@ -67,7 +67,7 @@ func main() {
 		ks[i] = uint32(i * 2)
 		vs[i] = "v"
 	}
-	big := simdtree.BulkLoadSegTree(simdtree.DefaultSegTreeConfig[uint32](), ks, vs)
+	big := simdtree.BulkLoadSegTree(ks, vs)
 	st := big.Stats()
 	fmt.Printf("\nbulk-loaded %d keys: height=%d, %d branch + %d leaf nodes, %.1f MB\n",
 		big.Len(), st.Height, st.BranchNodes, st.LeafNodes, float64(st.MemoryBytes)/(1<<20))

@@ -28,7 +28,7 @@ func main() {
 		dates[i] = uint32(i)
 		orders[i] = order{Revenue: float64(rng.Intn(100000)) / 100, Lines: 1 + rng.Intn(7)}
 	}
-	idx := simdtree.BulkLoadSegTree(simdtree.DefaultSegTreeConfig[uint32](), dates, orders)
+	idx := simdtree.BulkLoadSegTree(dates, orders)
 	fmt.Printf("loaded %d orders, height %d\n\n", idx.Len(), idx.Height())
 
 	// Quarterly revenue report: 90-day windows.

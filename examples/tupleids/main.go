@@ -25,7 +25,8 @@ func main() {
 
 	// The baseline the paper compares against.
 	start := time.Now()
-	base := simdtree.BulkLoadBPlusTree(simdtree.BPlusTreeConfig{LeafCap: 242, BranchCap: 242}, ids, rows)
+	base := simdtree.BulkLoadBPlusTree(ids, rows,
+		simdtree.WithLeafCap(242), simdtree.WithBranchCap(242))
 	fmt.Printf("B+-Tree      built in %8v\n", time.Since(start).Round(time.Millisecond))
 
 	// The optimized Seg-Trie; consecutive appends take the fast path.

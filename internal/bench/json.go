@@ -73,3 +73,47 @@ func (r *Recorder) WriteJSONFile(path string) error {
 	}
 	return f.Close()
 }
+
+// AppendJSONFile merges ms into the measurement file at path: existing
+// rows with the same (experiment, structure, class, metric, unit) key —
+// benchdiff's pairing key — are replaced in place, new rows are
+// appended, and everything else is preserved. A missing file starts
+// empty, so appending to a fresh path writes just ms. This lets
+// cmd/segload add its workload rows to a baseline produced by segbench
+// without re-running the microbenchmarks.
+func AppendJSONFile(path string, ms []Measurement) error {
+	var existing []Measurement
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	type key struct{ e, s, c, m, u string }
+	keyOf := func(m Measurement) key {
+		return key{m.Experiment, m.Structure, m.Class, m.Metric, m.Unit}
+	}
+	replace := make(map[key]Measurement, len(ms))
+	for _, m := range ms {
+		replace[keyOf(m)] = m
+	}
+	merged := make([]Measurement, 0, len(existing)+len(ms))
+	for _, m := range existing {
+		k := keyOf(m)
+		if nm, ok := replace[k]; ok {
+			m = nm
+			delete(replace, k)
+		}
+		merged = append(merged, m)
+	}
+	// Append the genuinely new rows in their original order.
+	for _, m := range ms {
+		if nm, ok := replace[keyOf(m)]; ok {
+			merged = append(merged, nm)
+			delete(replace, keyOf(m))
+		}
+	}
+	out := &Recorder{ms: merged}
+	return out.WriteJSONFile(path)
+}

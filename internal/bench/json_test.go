@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readMeasurements(t *testing.T, path string) []Measurement {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []Measurement
+	if err := json.Unmarshal(data, &ms); err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestAppendJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	base := []Measurement{
+		{Experiment: "e1", Structure: "s1", Class: "search", Metric: "lookup", Value: 100, Unit: "ns/op"},
+		{Experiment: "e1", Structure: "s2", Class: "search", Metric: "lookup", Value: 200, Unit: "ns/op"},
+	}
+
+	// Appending to a missing file writes exactly the new rows.
+	if err := AppendJSONFile(path, base); err != nil {
+		t.Fatal(err)
+	}
+	if got := readMeasurements(t, path); len(got) != 2 || got[0].Value != 100 {
+		t.Fatalf("fresh append = %+v", got)
+	}
+
+	// A second append replaces matching keys in place and adds new rows,
+	// leaving unrelated rows untouched.
+	update := []Measurement{
+		{Experiment: "e1", Structure: "s1", Class: "search", Metric: "lookup", Value: 150, Unit: "ns/op"},
+		{Experiment: "mixed", Structure: "s1", Class: "workload", Metric: "read-p99", Value: 900, Unit: "ns/op"},
+	}
+	if err := AppendJSONFile(path, update); err != nil {
+		t.Fatal(err)
+	}
+	got := readMeasurements(t, path)
+	if len(got) != 3 {
+		t.Fatalf("merged rows = %d, want 3: %+v", len(got), got)
+	}
+	if got[0].Value != 150 {
+		t.Errorf("matching row not replaced in place: %+v", got[0])
+	}
+	if got[1].Value != 200 {
+		t.Errorf("unrelated row disturbed: %+v", got[1])
+	}
+	if got[2].Class != "workload" || got[2].Value != 900 {
+		t.Errorf("new row not appended: %+v", got[2])
+	}
+}
+
+func TestAppendJSONFileRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendJSONFile(path, []Measurement{{Metric: "x"}}); err == nil {
+		t.Fatal("corrupt baseline accepted")
+	}
+}

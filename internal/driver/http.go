@@ -1,0 +1,66 @@
+package driver
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/segclient"
+)
+
+// SegserveTarget drives a live segserve over HTTP through the segclient
+// package — the remote counterpart of IndexTarget, with uint64 keys and
+// string values as the server defines them. The shared context bounds
+// every request; cancel it to abort an in-flight run.
+type SegserveTarget struct {
+	c   *segclient.Client
+	ctx context.Context
+}
+
+// NewSegserveTarget wraps c. ctx applies to every request the target
+// issues.
+func NewSegserveTarget(ctx context.Context, c *segclient.Client) *SegserveTarget {
+	return &SegserveTarget{c: c, ctx: ctx}
+}
+
+// Compile-time check: the remote target satisfies the same interface as
+// the in-process one — the point of the abstraction.
+var _ Target[uint64, string] = (*SegserveTarget)(nil)
+
+// Get implements Target; the server's 404 is "not found", not an error.
+func (t *SegserveTarget) Get(k uint64) (string, bool, error) {
+	v, err := t.c.Get(t.ctx, k)
+	if errors.Is(err, segclient.ErrNotFound) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	return v, true, nil
+}
+
+// Put implements Target.
+func (t *SegserveTarget) Put(k uint64, v string) error {
+	return t.c.Put(t.ctx, k, v)
+}
+
+// Delete implements Target.
+func (t *SegserveTarget) Delete(k uint64) (bool, error) {
+	err := t.c.Delete(t.ctx, k)
+	if errors.Is(err, segclient.ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// GetBatch implements Target.
+func (t *SegserveTarget) GetBatch(ks []uint64) ([]string, []bool, error) {
+	return t.c.GetBatch(t.ctx, ks)
+}
+
+// Scan implements Target.
+func (t *SegserveTarget) Scan(lo, hi uint64, limit int) (int, error) {
+	return t.c.Scan(t.ctx, lo, hi, limit)
+}

@@ -1,0 +1,238 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// opKind indexes the recorder's per-op histograms.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opScan
+	opBatch
+	numOps
+)
+
+var opNames = [numOps]string{"read", "write", "scan", "batch"}
+
+// maxConsecutiveErrors is the per-client circuit breaker: a client that
+// fails this many ops in a row (a dead server, not per-op noise) stops
+// instead of spinning failure records for the rest of the run.
+const maxConsecutiveErrors = 100
+
+// recorder is the shared measurement state of one run phase.
+type recorder struct {
+	hists  [numOps]obs.Histogram
+	counts [numOps]atomic.Uint64
+	errs   [numOps]atomic.Uint64
+	// record distinguishes the measured phase from warmup.
+	record bool
+	// firstErr keeps one representative error for reporting.
+	firstErr atomic.Pointer[error]
+}
+
+func (r *recorder) noteError(kind opKind, err error) {
+	if r.record {
+		r.errs[kind].Add(1)
+	}
+	r.firstErr.CompareAndSwap(nil, &err)
+}
+
+// chooser builds the Spec's key distribution. Every chooser here is safe
+// to share across client goroutines.
+func chooser(s Spec) workload.Chooser {
+	switch s.Dist {
+	case Zipfian:
+		return workload.NewZipfian(s.Keys, s.Theta)
+	case Sequential:
+		return workload.NewSequential(s.Keys)
+	default:
+		return workload.NewUniform(s.Keys)
+	}
+}
+
+// Run executes spec against t and reports per-op latency quantiles and
+// throughput. value produces the payload a Write stores under a key.
+//
+// Clients draw ops from the weighted mix with per-client rngs derived
+// from spec.Seed, so runs are reproducible op-stream-wise (timing, and
+// therefore interleaving, is not). A positive spec.Warmup runs the same
+// mix unrecorded first. Run returns an error for an invalid spec, a
+// cancelled context, or when every client hit the consecutive-error
+// circuit breaker (a dead target).
+func Run[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec, value func(K) V) (Results, error) {
+	if err := spec.Validate(); err != nil {
+		return Results{}, err
+	}
+	ch := chooser(spec)
+	if spec.Warmup > 0 {
+		warm := &recorder{}
+		runPhase(ctx, t, spec, ch, value, warm, nil, spec.Warmup)
+		if err := ctx.Err(); err != nil {
+			return Results{}, err
+		}
+	}
+	rec := &recorder{record: true}
+	var budget *atomic.Int64
+	if spec.Ops > 0 {
+		budget = &atomic.Int64{}
+		budget.Store(int64(spec.Ops))
+	}
+	start := time.Now()
+	alive := runPhase(ctx, t, spec, ch, value, rec, budget, spec.Duration)
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return Results{}, err
+	}
+	res := collect(spec, rec, elapsed)
+	if alive == 0 {
+		err := fmt.Errorf("driver: every client aborted after %d consecutive errors", maxConsecutiveErrors)
+		if p := rec.firstErr.Load(); p != nil {
+			err = fmt.Errorf("%w (first error: %v)", err, *p)
+		}
+		return res, err
+	}
+	return res, nil
+}
+
+// runPhase drives spec.Clients goroutines over the mix until the op
+// budget is drained, the phase duration elapses, or ctx is cancelled.
+// It returns how many clients ran to completion (rather than tripping
+// the error circuit breaker).
+func runPhase[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec,
+	ch workload.Chooser, value func(K) V, rec *recorder, budget *atomic.Int64, dur time.Duration) int {
+
+	var stop atomic.Bool
+	if dur > 0 {
+		tm := time.AfterFunc(dur, func() { stop.Store(true) })
+		defer tm.Stop()
+	}
+	unregister := context.AfterFunc(ctx, func() { stop.Store(true) })
+	defer unregister()
+
+	// The cumulative mix thresholds: a draw in [0, cum[i]) with the
+	// smallest such i selects op i.
+	var cum [numOps]int
+	sum := 0
+	for i, w := range [numOps]int{spec.Read, spec.Write, spec.Scan, spec.Batch} {
+		sum += w
+		cum[i] = sum
+	}
+
+	var alive atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < spec.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.Seed + int64(client)*7919))
+			batchBuf := make([]K, spec.BatchSize)
+			consecutive := 0
+			for !stop.Load() {
+				if budget != nil && budget.Add(-1) < 0 {
+					break
+				}
+				draw := rng.Intn(sum)
+				kind := opRead
+				for cum[kind] <= draw {
+					kind++
+				}
+				opStart := time.Now()
+				err := doOp(t, kind, spec, ch, rng, value, batchBuf)
+				d := time.Since(opStart)
+				if err != nil {
+					rec.noteError(kind, err)
+					if consecutive++; consecutive >= maxConsecutiveErrors {
+						return
+					}
+					continue
+				}
+				consecutive = 0
+				if rec.record {
+					rec.hists[kind].Observe(d)
+					rec.counts[kind].Add(1)
+				}
+			}
+			alive.Add(1)
+		}(c)
+	}
+	wg.Wait()
+	return int(alive.Load())
+}
+
+// doOp performs one operation of the mix.
+func doOp[K keys.Key, V any](t Target[K, V], kind opKind, spec Spec,
+	ch workload.Chooser, rng *rand.Rand, value func(K) V, batchBuf []K) error {
+
+	switch kind {
+	case opWrite:
+		k := K(ch.Next(rng))
+		return t.Put(k, value(k))
+	case opScan:
+		lo := ch.Next(rng)
+		_, err := t.Scan(K(lo), K(lo+uint64(spec.ScanLen-1)), spec.ScanLen)
+		return err
+	case opBatch:
+		for i := range batchBuf {
+			batchBuf[i] = K(ch.Next(rng))
+		}
+		_, _, err := t.GetBatch(batchBuf)
+		return err
+	default:
+		_, _, err := t.Get(K(ch.Next(rng)))
+		return err
+	}
+}
+
+// Load fills the key space: every key in [0, n) is Put exactly once,
+// partitioned across clients goroutines — the YCSB load phase run
+// before a read mix so point reads hit.
+func Load[K keys.Key, V any](t Target[K, V], n, clients int, value func(K) V) error {
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > n {
+		clients = n
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	chunk := (n + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				k := K(uint64(i))
+				if err := t.Put(k, value(k)); err != nil {
+					errs[c] = fmt.Errorf("driver: load key %d: %w", i, err)
+					return
+				}
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/segtree"
+)
+
+// newVersionedTarget builds the driver's standard in-process backend: a
+// versioned (MVCC) Seg-Tree, safe for the concurrent client goroutines.
+func newVersionedTarget() *IndexTarget[uint64, string] {
+	return NewIndexTarget[uint64, string](index.NewVersioned[uint64, string](func() index.Index[uint64, string] {
+		return segtree.New[uint64, string](segtree.DefaultConfig[uint64]())
+	}))
+}
+
+func value(k uint64) string { return strconv.FormatUint(k, 10) }
+
+// TestRunMixedOpBudget drives the full four-op mix with an exact op
+// budget and checks the accounting: recorded ops sum to the budget,
+// nothing errors, and every op type with weight got traffic and
+// monotone quantiles.
+func TestRunMixedOpBudget(t *testing.T) {
+	tgt := newVersionedTarget()
+	spec, err := ParseSpec("read=60,write=30,scan=5,batch=5;keys=2000;clients=4;ops=8000;batchsize=4;scanlen=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(tgt, spec.Keys, spec.Clients, value); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := Run(context.Background(), tgt, spec, value)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Total != uint64(spec.Ops) {
+		t.Errorf("Total = %d, want exactly the %d op budget", res.Total, spec.Ops)
+	}
+	if res.Errors != 0 {
+		t.Errorf("Errors = %d, want 0", res.Errors)
+	}
+	if len(res.Ops) != 4 {
+		t.Fatalf("got %d op results, want 4: %+v", len(res.Ops), res.Ops)
+	}
+	for _, op := range res.Ops {
+		if op.Count == 0 {
+			t.Errorf("op %s got no traffic", op.Op)
+			continue
+		}
+		if op.P50 <= 0 || op.P50 > op.P99 || op.P99 > op.P999 {
+			t.Errorf("op %s quantiles not monotone: p50=%g p99=%g p999=%g",
+				op.Op, op.P50, op.P99, op.P999)
+		}
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("Throughput = %g, want > 0", res.Throughput)
+	}
+}
+
+// TestRunSequentialWriteCoversKeySpace pins the load-like property of
+// the sequential distribution end to end: a write-only sequential run
+// with ops == keys leaves every key present.
+func TestRunSequentialWriteCoversKeySpace(t *testing.T) {
+	ix := index.NewVersioned[uint64, string](func() index.Index[uint64, string] {
+		return segtree.New[uint64, string](segtree.DefaultConfig[uint64]())
+	})
+	tgt := NewIndexTarget[uint64, string](ix)
+	spec, err := ParseSpec("read=0,write=1;dist=seq;keys=3000;ops=3000;clients=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), tgt, spec, value); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := ix.Len(); got != spec.Keys {
+		t.Errorf("after sequential write pass: Len = %d, want %d", got, spec.Keys)
+	}
+}
+
+// TestRunDurationBoundedWithWarmup checks the time-bounded mode: the
+// run ends near the requested duration and records something.
+func TestRunDurationBoundedWithWarmup(t *testing.T) {
+	tgt := newVersionedTarget()
+	spec, err := ParseSpec("read=90,write=10;keys=500;clients=2;dur=150ms;warmup=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := Run(context.Background(), tgt, spec, value)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Total == 0 {
+		t.Error("duration-bounded run recorded no ops")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("run took %v, far beyond warmup+duration", took)
+	}
+}
+
+func TestRunInvalidSpec(t *testing.T) {
+	if _, err := Run(context.Background(), newVersionedTarget(), Spec{}, value); err == nil {
+		t.Fatal("Run accepted the zero Spec")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := DefaultSpec()
+	spec.Ops, spec.Duration = 0, time.Hour // would hang forever if cancel is ignored
+	_, err := Run(ctx, newVersionedTarget(), spec, value)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// failingTarget errors on every op — the dead-server shape the circuit
+// breaker exists for.
+type failingTarget struct{}
+
+func (failingTarget) Get(uint64) (string, bool, error) { return "", false, errFail }
+func (failingTarget) Put(uint64, string) error         { return errFail }
+func (failingTarget) Delete(uint64) (bool, error)      { return false, errFail }
+func (failingTarget) GetBatch([]uint64) ([]string, []bool, error) {
+	return nil, nil, errFail
+}
+func (failingTarget) Scan(uint64, uint64, int) (int, error) { return 0, errFail }
+
+var errFail = errors.New("target down")
+
+func TestRunCircuitBreaker(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Clients, spec.Ops = 2, 1_000_000 // breaker must fire long before the budget drains
+	res, err := Run(context.Background(), failingTarget{}, spec, value)
+	if err == nil {
+		t.Fatal("Run against a dead target reported success")
+	}
+	if !strings.Contains(err.Error(), "target down") {
+		t.Errorf("error does not carry the cause: %v", err)
+	}
+	if res.Errors == 0 {
+		t.Error("no errors recorded before abort")
+	}
+}
+
+// TestLockedTarget exercises the RW-lock baseline target across the
+// whole surface.
+func TestLockedTarget(t *testing.T) {
+	tgt := NewLockedTarget[uint64, string](segtree.New[uint64, string](segtree.DefaultConfig[uint64]()))
+	if err := Load(tgt, 100, 4, value); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	v, ok, err := tgt.Get(42)
+	if err != nil || !ok || v != "42" {
+		t.Fatalf("Get(42) = %q, %v, %v", v, ok, err)
+	}
+	vs, found, err := tgt.GetBatch([]uint64{1, 1000})
+	if err != nil || !found[0] || found[1] || vs[0] != "1" {
+		t.Fatalf("GetBatch = %v, %v, %v", vs, found, err)
+	}
+	n, err := tgt.Scan(10, 19, 100)
+	if err != nil || n != 10 {
+		t.Fatalf("Scan = %d, %v, want 10", n, err)
+	}
+	n, err = tgt.Scan(0, 99, 7)
+	if err != nil || n != 7 {
+		t.Fatalf("Scan limit=7 = %d, %v, want 7", n, err)
+	}
+	ok, err = tgt.Delete(42)
+	if err != nil || !ok {
+		t.Fatalf("Delete(42) = %v, %v", ok, err)
+	}
+	spec, err := ParseSpec("read=80,write=20;keys=100;clients=4;ops=4000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), tgt, spec, value)
+	if err != nil || res.Total != 4000 {
+		t.Fatalf("Run over locked target: total=%d err=%v", res.Total, err)
+	}
+}
+
+// TestMeasurementsShape pins the BENCH JSON contract: Class "workload",
+// gated ns/op quantile rows per op, ungated throughput.
+func TestMeasurementsShape(t *testing.T) {
+	tgt := newVersionedTarget()
+	spec, err := ParseSpec("read=50,write=50;keys=200;clients=2;ops=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), tgt, spec, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := res.Measurements("mixed-smoke", "versioned-segtree")
+	byKey := make(map[string]float64)
+	for _, m := range ms {
+		if m.Class != "workload" {
+			t.Errorf("measurement %q Class = %q, want workload", m.Metric, m.Class)
+		}
+		if m.Experiment != "mixed-smoke" || m.Structure != "versioned-segtree" {
+			t.Errorf("measurement %q mislabelled: %+v", m.Metric, m)
+		}
+		byKey[m.Metric+"/"+m.Unit] = m.Value
+	}
+	for _, want := range []string{
+		"read-p50/ns/op", "read-p99/ns/op", "read-p999/ns/op", "read-ops/ops",
+		"write-p50/ns/op", "write-p99/ns/op", "write-p999/ns/op", "write-ops/ops",
+		"throughput/ops/s",
+	} {
+		if _, ok := byKey[want]; !ok {
+			t.Errorf("missing measurement %s in %v", want, byKey)
+		}
+	}
+	if byKey["read-ops/ops"]+byKey["write-ops/ops"] != float64(spec.Ops) {
+		t.Errorf("op counts %g+%g do not sum to budget %d",
+			byKey["read-ops/ops"], byKey["write-ops/ops"], spec.Ops)
+	}
+}

@@ -1,0 +1,239 @@
+// Package segclient is the Go client API for cmd/segserve: a typed,
+// connection-pooled wrapper over the server's HTTP endpoints. Until this
+// package existed every consumer hand-rolled URL strings and parsed the
+// plain-text responses; the workload driver (internal/driver) uses it to
+// make "segserve over HTTP" a first-class benchmark target
+// interchangeable with the in-process index.
+//
+//	c := segclient.New("http://localhost:8080")
+//	if err := c.WaitReady(ctx, 5*time.Second); err != nil { ... }
+//	v, err := c.Get(ctx, 42)        // errors.Is(err, segclient.ErrNotFound)
+//	err = c.Put(ctx, 42, "answer")
+//
+// Keys are uint64 and values strings, matching the server.
+package segclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrNotFound reports a key the server does not hold (HTTP 404 on /get
+// or /delete). Match with errors.Is.
+var ErrNotFound = errors.New("segclient: key not found")
+
+// StatusError is any other non-2xx server response, carrying the status
+// code and the response body (trimmed).
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Body is the response body, trimmed of trailing whitespace.
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("segclient: server returned %d: %s", e.Code, e.Body)
+}
+
+// maxBody bounds how much of a response (or error body) is read — the
+// server's endpoints are line-oriented and small, so anything larger is
+// a misdirected URL, not a real response.
+const maxBody = 8 << 20
+
+// Client talks to one segserve instance. The zero value is not usable;
+// construct with New. Client is safe for concurrent use: it holds no
+// mutable state and the underlying http.Client pools connections.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client — for tests and
+// for callers with their own transport policy.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the segserve at base (for example
+// "http://localhost:8080"). The default transport keeps a generous idle
+// pool per host so concurrent workload clients reuse connections instead
+// of exhausting ephemeral ports.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// get performs one GET on path with query and returns the body. A 404
+// maps to ErrNotFound (the server's "missing key" answer on /get and
+// /delete), any other non-2xx status to *StatusError.
+func (c *Client) get(ctx context.Context, path string, query url.Values) ([]byte, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, ErrNotFound
+	case resp.StatusCode < 200 || resp.StatusCode > 299:
+		return nil, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(body))}
+	}
+	return body, nil
+}
+
+// Get returns the value stored under key; ErrNotFound when absent.
+func (c *Client) Get(ctx context.Context, key uint64) (string, error) {
+	body, err := c.get(ctx, "/get", url.Values{"key": {strconv.FormatUint(key, 10)}})
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(string(body), "\n"), nil
+}
+
+// Put stores value under key.
+func (c *Client) Put(ctx context.Context, key uint64, value string) error {
+	_, err := c.get(ctx, "/put", url.Values{
+		"key":   {strconv.FormatUint(key, 10)},
+		"value": {value},
+	})
+	return err
+}
+
+// Delete removes key; ErrNotFound when it was absent.
+func (c *Client) Delete(ctx context.Context, key uint64) error {
+	_, err := c.get(ctx, "/delete", url.Values{"key": {strconv.FormatUint(key, 10)}})
+	return err
+}
+
+// GetBatch looks up many keys at once. Values and the found mask are in
+// input order, exactly like Index.GetBatch.
+func (c *Client) GetBatch(ctx context.Context, keys []uint64) ([]string, []bool, error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = strconv.FormatUint(k, 10)
+	}
+	body, err := c.get(ctx, "/getbatch", url.Values{"keys": {strings.Join(parts, ",")}})
+	if err != nil {
+		return nil, nil, err
+	}
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	if len(lines) != len(keys) {
+		return nil, nil, fmt.Errorf("segclient: getbatch returned %d lines for %d keys", len(lines), len(keys))
+	}
+	vals := make([]string, len(keys))
+	found := make([]bool, len(keys))
+	for i, line := range lines {
+		_, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, nil, fmt.Errorf("segclient: malformed getbatch line %q", line)
+		}
+		if rest == "MISSING" {
+			continue
+		}
+		vals[i] = rest
+		found[i] = true
+	}
+	return vals, found, nil
+}
+
+// Scan visits the items with lo ≤ key ≤ hi in ascending order, at most
+// limit of them, and returns how many the server reported.
+func (c *Client) Scan(ctx context.Context, lo, hi uint64, limit int) (int, error) {
+	body, err := c.get(ctx, "/scan", url.Values{
+		"lo":    {strconv.FormatUint(lo, 10)},
+		"hi":    {strconv.FormatUint(hi, 10)},
+		"limit": {strconv.Itoa(limit)},
+	})
+	if err != nil {
+		return 0, err
+	}
+	trimmed := strings.TrimSuffix(string(body), "\n")
+	if trimmed == "" {
+		return 0, nil
+	}
+	return strings.Count(trimmed, "\n") + 1, nil
+}
+
+// Stats fetches /stats parsed into name → value. Every stats line is
+// "name number"; lines that fail to parse are skipped.
+func (c *Client) Stats(ctx context.Context) (map[string]float64, error) {
+	body, err := c.get(ctx, "/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		name, val, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// Healthz probes the server's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := c.get(ctx, "/healthz", nil)
+	return err
+}
+
+// WaitReady polls /healthz until the server answers, ctx is done, or
+// timeout elapses — the startup handshake `segload -target http` uses so
+// a freshly exec'd segserve need not be racily slept on.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var last error
+	for {
+		if last = c.Healthz(ctx); last == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("segclient: server not ready after %v: %w", timeout, last)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

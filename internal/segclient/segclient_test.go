@@ -1,0 +1,207 @@
+package segclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubServer mimics segserve's endpoint contract over an in-memory map,
+// so the client's URL construction and response parsing are pinned
+// without importing the cmd package (package main is unimportable; the
+// real-server integration test lives in cmd/segserve).
+func stubServer(t *testing.T) (*httptest.Server, *sync.Map) {
+	t.Helper()
+	var m sync.Map
+	mux := http.NewServeMux()
+	key := func(r *http.Request) (uint64, error) {
+		return strconv.ParseUint(r.URL.Query().Get("key"), 10, 64)
+	}
+	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
+		k, err := key(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, ok := m.Load(k)
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		fmt.Fprintln(w, v)
+	})
+	mux.HandleFunc("/put", func(w http.ResponseWriter, r *http.Request) {
+		k, err := key(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		m.Store(k, r.URL.Query().Get("value"))
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/delete", func(w http.ResponseWriter, r *http.Request) {
+		k, err := key(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if _, ok := m.LoadAndDelete(k); !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/getbatch", func(w http.ResponseWriter, r *http.Request) {
+		for _, p := range strings.Split(r.URL.Query().Get("keys"), ",") {
+			k, err := strconv.ParseUint(p, 10, 64)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if v, ok := m.Load(k); ok {
+				fmt.Fprintf(w, "%d %s\n", k, v)
+			} else {
+				fmt.Fprintf(w, "%d MISSING\n", k)
+			}
+		}
+	})
+	mux.HandleFunc("/scan", func(w http.ResponseWriter, r *http.Request) {
+		lo, _ := strconv.ParseUint(r.URL.Query().Get("lo"), 10, 64)
+		hi, _ := strconv.ParseUint(r.URL.Query().Get("hi"), 10, 64)
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		n := 0
+		for k := lo; k <= hi && n < limit; k++ {
+			if v, ok := m.Load(k); ok {
+				fmt.Fprintf(w, "%d %s\n", k, v)
+				n++
+			}
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "keys 3\nop_get_p99_ns 123.5\nmalformed-line\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok version=1")
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &m
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	srv, _ := stubServer(t)
+	c := New(srv.URL)
+	ctx := context.Background()
+
+	if _, err := c.Get(ctx, 42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) err = %v, want ErrNotFound", err)
+	}
+	if err := c.Put(ctx, 42, "the answer"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, err := c.Get(ctx, 42)
+	if err != nil || v != "the answer" {
+		t.Fatalf("Get = %q, %v; want \"the answer\"", v, err)
+	}
+	if err := c.Delete(ctx, 42); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := c.Delete(ctx, 42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete(missing) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestClientGetBatchAndScan(t *testing.T) {
+	srv, _ := stubServer(t)
+	c := New(srv.URL)
+	ctx := context.Background()
+	for k := uint64(10); k < 20; k++ {
+		if err := c.Put(ctx, k, fmt.Sprintf("v%d", k)); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	vals, found, err := c.GetBatch(ctx, []uint64{10, 99, 15})
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	if !found[0] || found[1] || !found[2] {
+		t.Fatalf("found = %v, want [true false true]", found)
+	}
+	if vals[0] != "v10" || vals[2] != "v15" {
+		t.Fatalf("vals = %v", vals)
+	}
+	if vs, fs, err := c.GetBatch(ctx, nil); err != nil || vs != nil || fs != nil {
+		t.Fatalf("empty GetBatch = %v, %v, %v", vs, fs, err)
+	}
+
+	n, err := c.Scan(ctx, 0, 1<<62, 5)
+	if err != nil || n != 5 {
+		t.Fatalf("Scan limit=5 = %d, %v; want 5", n, err)
+	}
+	n, err = c.Scan(ctx, 100, 200, 5)
+	if err != nil || n != 0 {
+		t.Fatalf("Scan(empty range) = %d, %v; want 0", n, err)
+	}
+}
+
+func TestClientValuesWithSpaces(t *testing.T) {
+	srv, _ := stubServer(t)
+	c := New(srv.URL)
+	ctx := context.Background()
+	if err := c.Put(ctx, 7, "a value with spaces"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	vals, found, err := c.GetBatch(ctx, []uint64{7})
+	if err != nil || !found[0] || vals[0] != "a value with spaces" {
+		t.Fatalf("GetBatch = %v, %v, %v", vals, found, err)
+	}
+}
+
+func TestClientStatsHealthzAndErrors(t *testing.T) {
+	srv, _ := stubServer(t)
+	c := New(srv.URL)
+	ctx := context.Background()
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st["keys"] != 3 || st["op_get_p99_ns"] != 123.5 {
+		t.Fatalf("Stats = %v", st)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+
+	// A 400 surfaces as StatusError with the code and body attached.
+	err = c.Put(ctx, 0, "")
+	_ = err // /put with key 0 is valid on the stub; force a bad request instead:
+	if _, err := c.get(ctx, "/get", nil); err == nil {
+		t.Fatal("bad request did not error")
+	} else {
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+			t.Fatalf("err = %v, want StatusError{400}", err)
+		}
+	}
+}
+
+func TestWaitReady(t *testing.T) {
+	srv, _ := stubServer(t)
+	c := New(srv.URL)
+	if err := c.WaitReady(context.Background(), time.Second); err != nil {
+		t.Fatalf("WaitReady against live server: %v", err)
+	}
+	// Against a closed server it reports the timeout with the last error.
+	dead := New("http://127.0.0.1:1")
+	err := dead.WaitReady(context.Background(), 150*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitReady against dead address succeeded")
+	}
+}

@@ -117,8 +117,22 @@ func DefaultSegTreeConfig[K Key]() SegTreeConfig {
 }
 
 // BulkLoadSegTree builds a Seg-Tree from strictly ascending keys with
-// completely filled nodes — the paper's initial-filling fast path.
-func BulkLoadSegTree[K Key, V any](cfg SegTreeConfig, ks []K, vs []V) *SegTree[K, V] {
+// completely filled nodes — the paper's initial-filling fast path. The
+// zero-option call uses the paper's default configuration; WithLayout,
+// WithEvaluator, WithLeafCap and WithBranchCap override individual
+// parameters, exactly as in NewSegTree.
+func BulkLoadSegTree[K Key, V any](ks []K, vs []V, opts ...Option) *SegTree[K, V] {
+	o := buildOptions(opts)
+	o.reject("BulkLoadSegTree")
+	return segtree.BulkLoad[K, V](o.segTreeConfig(segtree.DefaultConfig[K]()), ks, vs)
+}
+
+// BulkLoadSegTreeWithConfig builds a Seg-Tree from strictly ascending
+// keys with a custom configuration.
+//
+// Deprecated: use BulkLoadSegTree with options (WithLayout,
+// WithEvaluator, WithLeafCap, WithBranchCap).
+func BulkLoadSegTreeWithConfig[K Key, V any](cfg SegTreeConfig, ks []K, vs []V) *SegTree[K, V] {
 	return segtree.BulkLoad[K, V](cfg, ks, vs)
 }
 
@@ -190,9 +204,22 @@ func NewBPlusTreeWithConfig[K Key, V any](cfg BPlusTreeConfig) *BPlusTree[K, V] 
 	return btree.New[K, V](cfg)
 }
 
-// BulkLoadBPlusTree builds a baseline B+-Tree from strictly ascending keys
-// with completely filled nodes.
-func BulkLoadBPlusTree[K Key, V any](cfg BPlusTreeConfig, ks []K, vs []V) *BPlusTree[K, V] {
+// BulkLoadBPlusTree builds a baseline B+-Tree from strictly ascending
+// keys with completely filled nodes. The zero-option call uses Table 3
+// node sizing; WithLeafCap and WithBranchCap override the capacities,
+// exactly as in NewBPlusTree.
+func BulkLoadBPlusTree[K Key, V any](ks []K, vs []V, opts ...Option) *BPlusTree[K, V] {
+	o := buildOptions(opts)
+	o.reject("BulkLoadBPlusTree")
+	return btree.BulkLoad[K, V](o.bPlusTreeConfig(btree.DefaultConfig[K](), "BulkLoadBPlusTree"), ks, vs)
+}
+
+// BulkLoadBPlusTreeWithConfig builds a baseline B+-Tree from strictly
+// ascending keys with a custom configuration.
+//
+// Deprecated: use BulkLoadBPlusTree with options (WithLeafCap,
+// WithBranchCap).
+func BulkLoadBPlusTreeWithConfig[K Key, V any](cfg BPlusTreeConfig, ks []K, vs []V) *BPlusTree[K, V] {
 	return btree.BulkLoad[K, V](cfg, ks, vs)
 }
 

@@ -37,8 +37,18 @@ func TestFacadeBulkLoadAndScan(t *testing.T) {
 		ks[i] = uint64(i * 2)
 		vs[i] = i
 	}
-	seg := simdtree.BulkLoadSegTree(simdtree.DefaultSegTreeConfig[uint64](), ks, vs)
-	base := simdtree.BulkLoadBPlusTree(simdtree.BPlusTreeConfig{LeafCap: 64, BranchCap: 64}, ks, vs)
+	seg := simdtree.BulkLoadSegTree(ks, vs)
+	base := simdtree.BulkLoadBPlusTree(ks, vs,
+		simdtree.WithLeafCap(64), simdtree.WithBranchCap(64))
+	// The deprecated config-struct forms build the same trees.
+	seg2 := simdtree.BulkLoadSegTreeWithConfig(simdtree.DefaultSegTreeConfig[uint64](), ks, vs)
+	if seg2.Len() != seg.Len() {
+		t.Fatalf("WithConfig bulk load diverged: %d != %d", seg2.Len(), seg.Len())
+	}
+	base2 := simdtree.BulkLoadBPlusTreeWithConfig(simdtree.BPlusTreeConfig{LeafCap: 64, BranchCap: 64}, ks, vs)
+	if base2.Len() != base.Len() {
+		t.Fatalf("WithConfig B+ bulk load diverged: %d != %d", base2.Len(), base.Len())
+	}
 	count := 0
 	seg.Scan(100, 200, func(k uint64, v int) bool { count++; return true })
 	if count != 51 {
