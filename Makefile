@@ -91,19 +91,28 @@ fuzz:
 		$(GO) test $$pkg -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME); \
 	done
 
+# Generous ceilings for the loadtest SLO gate: race-built binaries on
+# shared CI hardware are slow, so this catches collapses (and any error),
+# not regressions — benchdiff gates the trajectory.
+LOADTEST_SLO ?= read_p99<250ms,error_rate<0.05
+
 # Mixed-workload smoke under the race detector: the identical Spec runs
 # against the in-process index and against a freshly started segserve
 # over HTTP through internal/segclient. The server is stopped with
-# SIGTERM so the run also exercises graceful drain.
+# SIGTERM so the run also exercises graceful drain. Both runs gate on
+# LOADTEST_SLO; the server evaluates the same objectives continuously
+# and spills flight-recorder bundles to bin/flight on breach (CI uploads
+# them as an artifact when the gate trips).
 loadtest:
 	$(GO) build -race -o bin/segload ./cmd/segload
 	$(GO) build -race -o bin/segserve ./cmd/segserve
 	./bin/segload -target inproc -structure segtree -shards 8 -sync versioned \
-		-spec '$(LOADTEST_SPEC)'
-	@./bin/segserve -addr $(LOADTEST_ADDR) -log-level warn & pid=$$!; \
+		-spec '$(LOADTEST_SPEC)' -slo '$(LOADTEST_SLO)'
+	@./bin/segserve -addr $(LOADTEST_ADDR) -log-level warn \
+		-slo '$(LOADTEST_SLO)' -flight-dir bin/flight & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	./bin/segload -target http -addr http://$(LOADTEST_ADDR) -wait 10s \
-		-spec '$(LOADTEST_SPEC)'; rc=$$?; \
+		-spec '$(LOADTEST_SPEC)' -slo '$(LOADTEST_SLO)'; rc=$$?; \
 	kill -TERM $$pid && wait $$pid; \
 	trap - EXIT; exit $$rc
 

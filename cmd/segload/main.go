@@ -16,6 +16,12 @@
 // BENCH file — e.g. BENCH_baseline.json — replacing rows with the same
 // key so cmd/benchdiff can gate mixed-workload latency alongside the
 // microbenchmarks.
+//
+// -slo turns the run into a pass/fail gate: the finished results are
+// checked against the same objective grammar segserve evaluates
+// continuously, and any violation exits nonzero:
+//
+//	segload -spec 'read=95,write=5;clients=16' -slo 'read_p99<2ms,error_rate<0.001'
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	simdtree "repro"
 	"repro/internal/bench"
 	"repro/internal/driver"
+	"repro/internal/health"
+	"repro/internal/obs"
 	"repro/internal/segclient"
 )
 
@@ -55,6 +63,7 @@ type config struct {
 	json       string
 	jsonAppend string
 	experiment string
+	slo        string
 }
 
 func parseFlags(args []string) (config, error) {
@@ -67,10 +76,11 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.shards, "shards", 1, "inproc key-range shards (>= 2; 1 disables sharding)")
 	fs.StringVar(&cfg.sync, "sync", "versioned", "inproc concurrency control: versioned (MVCC snapshots) or locked (RW lock)")
 	fs.BoolVar(&cfg.load, "load", true, "preload the whole key space before the measured run")
-	fs.DurationVar(&cfg.wait, "wait", 0, "wait up to this long for the HTTP target's /healthz before running")
+	fs.DurationVar(&cfg.wait, "wait", 0, "wait up to this long for the HTTP target's /readyz before running")
 	fs.StringVar(&cfg.json, "json", "", "write the results as BENCH measurement JSON to this file")
 	fs.StringVar(&cfg.jsonAppend, "json-append", "", "merge the results into this existing BENCH measurement JSON file")
 	fs.StringVar(&cfg.experiment, "experiment", "mixed", "experiment label on the emitted measurements")
+	fs.StringVar(&cfg.slo, "slo", "", "fail (exit nonzero) when the run violates these objectives, e.g. 'read_p99<2ms,error_rate<0.001'")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -129,6 +139,23 @@ func buildTarget(ctx context.Context, cfg config) (driver.Target[uint64, string]
 
 func value(k uint64) string { return strconv.FormatUint(k, 10) }
 
+// checkSLO evaluates the run's results against parsed objectives — the
+// same grammar and ceilings segserve's continuous engine evaluates, but
+// single-shot over the whole run. It returns the violations.
+func checkSLO(objectives []health.Objective, res driver.Results) []health.Violation {
+	s := health.Sample{
+		Ops: make(map[string]obs.HistogramSnapshot, len(res.Ops)),
+		// Error rate is failures over attempts: Results.Total counts only
+		// successes, so attempts are the sum.
+		Errors: res.Errors,
+		Total:  res.Total + res.Errors,
+	}
+	for _, op := range res.Ops {
+		s.Ops[op.Op] = op.Histogram
+	}
+	return health.Check(objectives, s)
+}
+
 func run(args []string, out *os.File) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
@@ -137,6 +164,13 @@ func run(args []string, out *os.File) error {
 	spec, err := driver.ParseSpec(cfg.spec)
 	if err != nil {
 		return err
+	}
+	// Parse the SLO up front so a typo fails before minutes of load.
+	var objectives []health.Objective
+	if cfg.slo != "" {
+		if objectives, err = health.ParseObjectives(cfg.slo); err != nil {
+			return fmt.Errorf("bad -slo: %w", err)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -174,6 +208,16 @@ func run(args []string, out *os.File) error {
 				return err
 			}
 		}
+	}
+
+	if len(objectives) > 0 {
+		if violations := checkSLO(objectives, res); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(out, "SLO VIOLATION: %s\n", v)
+			}
+			return fmt.Errorf("%d of %d objectives violated", len(violations), len(objectives))
+		}
+		fmt.Fprintf(out, "SLO ok: %d objectives met\n", len(objectives))
 	}
 	return nil
 }

@@ -122,6 +122,9 @@ func stubServe(t *testing.T) *httptest.Server {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
 		k, err := key(r, "key")
 		if err != nil {
@@ -204,6 +207,41 @@ func TestRunHTTPTargetWaitFails(t *testing.T) {
 	args := []string{"-target", "http", "-addr", "http://127.0.0.1:1", "-wait", "100ms"}
 	if err := run(args, os.Stdout); err == nil {
 		t.Fatal("dead HTTP target accepted")
+	}
+}
+
+// TestRunSLOGate drives the -slo satellite: a generous objective passes
+// and reports it, an impossible one fails the run with the violation
+// printed, and a malformed objective string fails before any load runs.
+func TestRunSLOGate(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "out.txt")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	spec := []string{"-spec", "read=80,write=20;keys=200;clients=2;ops=1000"}
+
+	if err := run(append(spec, "-slo", "read_p99<10s,error_rate<0.5"), out); err != nil {
+		t.Fatalf("generous SLO failed the run: %v", err)
+	}
+	body, _ := os.ReadFile(outPath)
+	if !strings.Contains(string(body), "SLO ok: 2 objectives met") {
+		t.Errorf("output missing SLO pass line:\n%s", body)
+	}
+
+	err = run(append(spec, "-slo", "read_p99<1ns"), out)
+	if err == nil || !strings.Contains(err.Error(), "objectives violated") {
+		t.Fatalf("impossible SLO passed: %v", err)
+	}
+	body, _ = os.ReadFile(outPath)
+	if !strings.Contains(string(body), "SLO VIOLATION: read_p99<1ns") {
+		t.Errorf("output missing violation line:\n%s", body)
+	}
+
+	if err := run(append(spec, "-slo", "read_q99<1ms"), out); err == nil ||
+		!strings.Contains(err.Error(), "bad -slo") {
+		t.Fatalf("malformed -slo accepted: %v", err)
 	}
 }
 

@@ -4,9 +4,12 @@
 // as Prometheus text metrics (including Go runtime metrics), expvar
 // JSON, Go's pprof profiles, and per-operation search tracing — an
 // on-demand Explain endpoint plus always-on 1-in-N sampled traces with a
-// slow-op log.
+// slow-op log. With -slo it also runs a burn-rate SLO engine over
+// recent-window metrics and a flight recorder that freezes a diagnostics
+// bundle on each transition into breach.
 //
-//	segserve -structure opt-segtrie -shards 16 -preload 100000
+//	segserve -structure opt-segtrie -shards 16 -preload 100000 \
+//	    -slo 'get_p99<2ms,error_rate<0.001' -ready-slo -flight-dir /tmp/flight
 //
 //	curl 'localhost:8080/put?key=42&value=answer'
 //	curl 'localhost:8080/get?key=42'
@@ -22,6 +25,11 @@
 //	curl 'localhost:8080/debug/traces'     # recent sampled traces (JSON)
 //	curl 'localhost:8080/debug/slowops'    # sampled traces over the threshold
 //	curl 'localhost:8080/debug/tracerate'  # sampler stats; set with ?every=&slow=
+//	curl 'localhost:8080/healthz'          # liveness (never SLO-aware)
+//	curl 'localhost:8080/readyz'           # readiness; 503 while breaching with -ready-slo
+//	curl 'localhost:8080/debug/slo'        # SLO engine status (JSON)
+//	curl 'localhost:8080/debug/flightrecorder'       # bundle list
+//	curl 'localhost:8080/debug/flightrecorder?id=1'  # one full bundle
 //
 // Keys are uint64, values are strings. The index is wrapped in
 // InstrumentedIndex (histograms + counters + trace sampling) over MVCC
@@ -49,21 +57,35 @@ import (
 	"time"
 
 	simdtree "repro"
+	"repro/internal/health"
 	"repro/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	structure := flag.String("structure", "segtree",
-		"index structure: segtree, segtrie, opt-segtrie, btree")
-	shards := flag.Int("shards", 16, "key-range shards (>= 2; 1 disables sharding)")
-	preload := flag.Int("preload", 0, "preload this many consecutive keys before serving")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	traceRate := flag.Int("trace-rate", 1024, "trace 1 in this many gets (0 disables sampling)")
 	slowThreshold := flag.Duration("slow-threshold", time.Millisecond,
 		"sampled gets at least this slow enter the slow-op log (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second,
 		"how long to wait for in-flight requests on SIGINT/SIGTERM")
+	var cfg serverConfig
+	flag.StringVar(&cfg.structure, "structure", "segtree",
+		"index structure: segtree, segtrie, opt-segtrie, btree")
+	flag.IntVar(&cfg.shards, "shards", 16, "key-range shards (>= 2; 1 disables sharding)")
+	flag.IntVar(&cfg.preload, "preload", 0, "preload this many consecutive keys before serving")
+	flag.StringVar(&cfg.slo, "slo", "",
+		"SLO objectives to evaluate continuously, e.g. 'get_p99<2ms,error_rate<0.001' (empty disables the engine)")
+	flag.BoolVar(&cfg.readySLO, "ready-slo", false,
+		"make /readyz return 503 while the SLO state is breaching (requires -slo)")
+	flag.StringVar(&cfg.flightDir, "flight-dir", "",
+		"spill flight-recorder diagnostics bundles to this directory (in-memory ring only when empty)")
+	flag.DurationVar(&cfg.tick, "window-tick", defaultWindowTick,
+		"epoch length of the windowed metrics; windows are merges of these epochs")
+	flag.DurationVar(&cfg.fastWindow, "slo-fast", health.DefaultFastWindow,
+		"fast burn-rate window (also the /stats window_* quantile span)")
+	flag.DurationVar(&cfg.slowWindow, "slo-slow", health.DefaultSlowWindow,
+		"slow burn-rate window")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel)
@@ -73,7 +95,7 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	s, err := newServer(*structure, *shards, *preload)
+	s, err := newServer(cfg)
 	if err != nil {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
@@ -81,10 +103,12 @@ func main() {
 	s.ix.Sampler().SetRate(*traceRate)
 	s.ix.Sampler().SetSlowThreshold(*slowThreshold)
 	logger.Info("serving",
-		"structure", *structure, "shards", *shards, "addr", *addr,
-		"preloaded", *preload, "trace_rate", *traceRate, "slow_threshold", *slowThreshold)
+		"structure", cfg.structure, "shards", cfg.shards, "addr", *addr,
+		"preloaded", cfg.preload, "trace_rate", *traceRate, "slow_threshold", *slowThreshold,
+		"slo", cfg.slo, "window_tick", cfg.tick)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	go s.runTicker(ctx)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Error("listen failed", "addr", *addr, "err", err)
@@ -133,10 +157,41 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
+// defaultWindowTick is the epoch length of the windowed metrics: coarse
+// enough that rotation is negligible, fine enough that a 30 s fast
+// window spans several epochs.
+const defaultWindowTick = 5 * time.Second
+
+// serverConfig is everything newServer needs; main fills it from flags,
+// tests construct it directly.
+type serverConfig struct {
+	structure string
+	shards    int
+	preload   int
+	// slo enables the health engine ("" disables); readySLO ties /readyz
+	// to it; flightDir spills diagnostics bundles to disk.
+	slo       string
+	readySLO  bool
+	flightDir string
+	// tick is the windowed-metrics epoch length; fastWindow and
+	// slowWindow the burn-rate windows (zero means the defaults).
+	tick       time.Duration
+	fastWindow time.Duration
+	slowWindow time.Duration
+}
+
 // server owns the instrumented index and its HTTP handlers. It is split
 // from main so tests can drive the mux through httptest.
 type server struct {
-	ix *simdtree.InstrumentedIndex[uint64, string]
+	ix  *simdtree.InstrumentedIndex[uint64, string]
+	cfg serverConfig
+	// reqTotal and reqErrs count requests and 5xx responses per window
+	// epoch — the denominators and numerators of error_rate objectives.
+	reqTotal *obs.WindowedCounter
+	reqErrs  *obs.WindowedCounter
+	// engine and flight are nil unless cfg.slo is set.
+	engine *health.Engine
+	flight *health.Recorder
 }
 
 var structures = map[string]simdtree.Structure{
@@ -146,29 +201,147 @@ var structures = map[string]simdtree.Structure{
 	"btree":       simdtree.StructureBPlusTree,
 }
 
-func newServer(structure string, shards, preload int) (*server, error) {
-	s, ok := structures[structure]
+func newServer(cfg serverConfig) (*server, error) {
+	s, ok := structures[cfg.structure]
 	if !ok {
-		return nil, fmt.Errorf("unknown structure %q (want segtree, segtrie, opt-segtrie or btree)", structure)
+		return nil, fmt.Errorf("unknown structure %q (want segtree, segtrie, opt-segtrie or btree)", cfg.structure)
+	}
+	if cfg.tick <= 0 {
+		cfg.tick = defaultWindowTick
+	}
+	if cfg.fastWindow <= 0 {
+		cfg.fastWindow = health.DefaultFastWindow
+	}
+	if cfg.slowWindow <= 0 {
+		cfg.slowWindow = health.DefaultSlowWindow
+	}
+	if cfg.readySLO && cfg.slo == "" {
+		return nil, fmt.Errorf("-ready-slo requires -slo")
 	}
 	// WithSnapshots keeps the unsharded (-shards 1) server on the MVCC
 	// path too: every read pins a published version instead of locking,
 	// so reads never stall behind the writer. With >= 2 shards the
 	// sharded index is a per-shard snapshot publisher already.
 	ix := simdtree.NewInstrumentedIndex[uint64, string](
-		simdtree.WithStructure(s), simdtree.WithShards(shards), simdtree.WithSnapshots())
-	for i := 0; i < preload; i++ {
+		simdtree.WithStructure(s), simdtree.WithShards(cfg.shards), simdtree.WithSnapshots())
+	for i := 0; i < cfg.preload; i++ {
 		ix.Put(uint64(i), strconv.Itoa(i))
 	}
 	// Sampling is attached here with serving defaults; main re-tunes the
 	// rate and threshold from flags, and /debug/tracerate at runtime.
 	ix.EnableSampling(1024, time.Millisecond)
-	srv := &server{ix: ix}
+	// The epoch ring must span the slow burn-rate window.
+	epochs := int((cfg.slowWindow + cfg.tick - 1) / cfg.tick)
+	ix.EnableWindows(cfg.tick, epochs)
+	srv := &server{
+		ix:       ix,
+		cfg:      cfg,
+		reqTotal: obs.NewWindowedCounter(cfg.tick, epochs),
+		reqErrs:  obs.NewWindowedCounter(cfg.tick, epochs),
+	}
+	if cfg.slo != "" {
+		objectives, err := health.ParseObjectives(cfg.slo)
+		if err != nil {
+			return nil, fmt.Errorf("bad -slo: %w", err)
+		}
+		srv.flight = health.NewRecorder(health.DefaultRecorderCap, cfg.flightDir)
+		srv.engine, err = health.NewEngine(health.Config{
+			Objectives: objectives,
+			FastWindow: cfg.fastWindow,
+			SlowWindow: cfg.slowWindow,
+			Probe:      srv.probe,
+			OnBreach:   srv.captureBundle,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bad SLO configuration: %w", err)
+		}
+	}
 	srv.ix.PublishExpvar("segserve")
 	return srv, nil
 }
 
-func (s *server) mux() *http.ServeMux {
+// probe assembles the health.Sample the SLO engine evaluates: windowed
+// per-op latency snapshots plus the request/error counts over the same
+// trailing window.
+func (s *server) probe(window time.Duration) health.Sample {
+	ops := make(map[string]obs.HistogramSnapshot, len(simdtree.Ops))
+	for _, op := range simdtree.Ops {
+		if h, ok := s.ix.WindowSnapshot(op, window); ok {
+			ops[op.String()] = h
+		}
+	}
+	return health.Sample{
+		Ops:    ops,
+		Errors: s.reqErrs.ReadWindow(window),
+		Total:  s.reqTotal.ReadWindow(window),
+	}
+}
+
+// tick advances one windowed-metrics epoch and, when an SLO is
+// configured, re-evaluates it. Tests call it directly with a synthetic
+// clock; runTicker drives it in production.
+func (s *server) tick(now time.Time) {
+	s.ix.RotateWindows()
+	s.reqTotal.Rotate()
+	s.reqErrs.Rotate()
+	if s.engine != nil {
+		s.engine.Evaluate(now)
+	}
+}
+
+// runTicker rotates windows and evaluates the SLO engine every epoch
+// until ctx is cancelled.
+func (s *server) runTicker(ctx context.Context) {
+	t := time.NewTicker(s.cfg.tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			s.tick(now)
+		}
+	}
+}
+
+// captureBundle is the engine's OnBreach hook: freeze every diagnostic
+// the server can produce into one flight-recorder bundle. Draining (not
+// copying) the slow-op ring means consecutive bundles carry distinct
+// evidence.
+func (s *server) captureBundle(st health.Status) {
+	b := &health.Bundle{
+		CapturedAt:       time.Now(),
+		Reason:           "slo breach: " + strings.Join(st.BreachingObjectives(), ","),
+		Status:           st,
+		Windows:          make(map[string]health.WindowQuantiles),
+		SlowOps:          s.ix.Sampler().DrainSlowOps(),
+		Sampled:          s.ix.Sampler().Sampled(),
+		GoroutineProfile: health.GoroutineProfile(),
+	}
+	for _, op := range simdtree.Ops {
+		if h, ok := s.ix.WindowSnapshot(op, s.cfg.fastWindow); ok && h.Count > 0 {
+			b.Windows[op.String()] = health.WindowQuantilesOf(h)
+		}
+	}
+	rep := s.ix.Shape()
+	b.Shape = &rep
+	if mv, ok := s.ix.MVCCInfo(); ok {
+		b.MVCC = &mv
+	}
+	rt := obs.ReadRuntimeSnapshot()
+	b.Runtime = &rt
+	id, err := s.flight.Record(b)
+	if err != nil {
+		slog.Error("flight-recorder spill failed", "bundle", id, "err", err)
+		return
+	}
+	slog.Warn("slo breach: flight-recorder bundle captured",
+		"bundle", id, "objectives", st.BreachingObjectives())
+}
+
+// mux routes every endpoint and wraps the routes with the windowed
+// request/error counting the SLO engine's error_rate objectives read.
+func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/get", s.handleGet)
 	mux.HandleFunc("/put", s.handlePut)
@@ -178,12 +351,15 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/debug/shape", s.handleShape)
 	mux.HandleFunc("/debug/explain", s.handleExplain)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/slowops", s.handleSlowOps)
 	mux.HandleFunc("/debug/tracerate", s.handleTraceRate)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
+	mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
 	// expvar and pprof register on http.DefaultServeMux; re-expose them on
 	// our own mux so segserve works with a custom one.
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -192,7 +368,21 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return s.counting(mux)
+}
+
+// counting feeds the windowed request and 5xx counters behind every
+// error_rate objective. It counts all endpoints: a failing /stats is as
+// much an error budget spend as a failing /get.
+func (s *server) counting(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.reqTotal.Add(1)
+		if sw.status >= http.StatusInternalServerError {
+			s.reqErrs.Add(1)
+		}
+	})
 }
 
 // handler wraps the mux with structured request logging.
@@ -352,6 +542,23 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 				op.Op, op.Histogram.QuantileNanos(0.999))
 		}
 	}
+	// The recent-window counterparts next to the lifetime figures: the
+	// lifetime p99 barely moves when the last 30 s went bad, the windowed
+	// one jumps.
+	fmt.Fprintf(w, "window_seconds %g\n", s.cfg.fastWindow.Seconds())
+	fmt.Fprintf(w, "window_requests %d\nwindow_errors %d\n",
+		s.reqTotal.ReadWindow(s.cfg.fastWindow), s.reqErrs.ReadWindow(s.cfg.fastWindow))
+	for _, op := range simdtree.Ops {
+		h, ok := s.ix.WindowSnapshot(op, s.cfg.fastWindow)
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "op_%s_window_count %d\nop_%s_window_p50_ns %g\nop_%s_window_p99_ns %g\nop_%s_window_p999_ns %g\n",
+			op, h.Count,
+			op, h.QuantileNanos(0.50),
+			op, h.QuantileNanos(0.99),
+			op, h.QuantileNanos(0.999))
+	}
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -364,17 +571,77 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.ix.Sampler().Stats()
 	fmt.Fprintf(w, "# TYPE segserve_trace_sampled_total counter\nsegserve_trace_sampled_total %d\n", st.Sampled)
 	fmt.Fprintf(w, "# TYPE segserve_trace_slow_total counter\nsegserve_trace_slow_total %d\n", st.Slow)
+	if s.engine != nil {
+		s.engine.WriteProm(w, "segserve_health")
+	}
+	if s.flight != nil {
+		fmt.Fprintf(w, "# TYPE segserve_flight_bundles gauge\nsegserve_flight_bundles %d\n", s.flight.Len())
+	}
 }
 
 // handleHealthz answers liveness probes; the reported version number is
 // the index's highest published MVCC sequence, a cheap way to observe
-// write progress from the outside.
+// write progress from the outside. Liveness is deliberately pure: a
+// breaching SLO never makes this endpoint fail — that is /readyz's job —
+// so orchestrators don't restart a process that is slow but alive.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if mv, ok := s.ix.MVCCInfo(); ok {
 		fmt.Fprintf(w, "ok version=%d\n", mv.CurrentVersion())
 		return
 	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers readiness probes. It always reports the SLO state
+// when an engine runs; with -ready-slo it additionally returns 503 while
+// the state is Breaching, steering load balancers away from an instance
+// that is burning its error budget, without restarting it.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.engine == nil {
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	st := s.engine.Status()
+	if s.cfg.readySLO && st.State == health.Breaching {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "breaching %s\n", strings.Join(st.BreachingObjectives(), ","))
+		return
+	}
+	fmt.Fprintf(w, "ready slo=%s\n", st.State)
+}
+
+// handleSLO reports the engine's full status — per-objective windowed
+// values, burn rates and states — as JSON; 404 when no -slo was given.
+func (s *server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	if s.engine == nil {
+		http.Error(w, "no SLO engine (start with -slo)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.engine.Status())
+}
+
+// handleFlightRecorder lists the retained diagnostics bundles (newest
+// first), or serves one in full with ?id=N; 404 when no -slo was given.
+func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "no flight recorder (start with -slo)", http.StatusNotFound)
+		return
+	}
+	if ids := r.URL.Query().Get("id"); ids != "" {
+		id, err := strconv.ParseUint(ids, 10, 64)
+		if err != nil {
+			http.Error(w, "bad id parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		b, ok := s.flight.Get(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no bundle %d (retained: %d)", id, s.flight.Len()), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, b)
+		return
+	}
+	writeJSON(w, s.flight.List())
 }
 
 // handleSnapshot reports the MVCC publication state — per-shard version

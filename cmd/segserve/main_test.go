@@ -21,7 +21,7 @@ import (
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer("opt-segtrie", 4, 100)
+	s, err := newServer(serverConfig{structure: "opt-segtrie", shards: 4, preload: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestShapeEndpoint(t *testing.T) {
 }
 
 func TestNewServerRejectsUnknownStructure(t *testing.T) {
-	if _, err := newServer("skiplist", 1, 0); err == nil {
+	if _, err := newServer(serverConfig{structure: "skiplist", shards: 1}); err == nil {
 		t.Fatal("unknown structure accepted")
 	}
 }
@@ -325,7 +325,7 @@ func TestMetricsIncludeRuntimeAndSampler(t *testing.T) {
 }
 
 func TestRequestLogging(t *testing.T) {
-	s, err := newServer("segtree", 1, 10)
+	s, err := newServer(serverConfig{structure: "segtree", shards: 1, preload: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

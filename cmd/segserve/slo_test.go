@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+)
+
+// newSLOServer builds a server with an impossible latency objective
+// (get_p99 < 1ns) so a single evaluation after any traffic transitions
+// the engine into Breaching — and a deliberately small epoch ring so a
+// few ticks drain the windows again.
+func newSLOServer(t *testing.T, flightDir string) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(serverConfig{
+		structure: "opt-segtrie", shards: 4, preload: 100,
+		slo:        "get_p99<1ns,error_rate<0.5",
+		readySLO:   true,
+		flightDir:  flightDir,
+		tick:       time.Second,
+		fastWindow: 2 * time.Second,
+		slowWindow: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestSLOEndpointsAbsentWithoutEngine(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := get(t, ts.URL+"/debug/slo"); code != 404 {
+		t.Errorf("/debug/slo without -slo = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/flightrecorder"); code != 404 {
+		t.Errorf("/debug/flightrecorder without -slo = %d, want 404", code)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != 200 || strings.TrimSpace(body) != "ready" {
+		t.Errorf("/readyz without -slo = %d %q, want 200 ready", code, body)
+	}
+}
+
+func TestNewServerRejectsBadSLOConfig(t *testing.T) {
+	if _, err := newServer(serverConfig{structure: "segtree", shards: 1,
+		slo: "get_p99<<nope"}); err == nil {
+		t.Error("bad -slo string accepted")
+	}
+	if _, err := newServer(serverConfig{structure: "segtree", shards: 1,
+		readySLO: true}); err == nil {
+		t.Error("-ready-slo without -slo accepted")
+	}
+	if _, err := newServer(serverConfig{structure: "segtree", shards: 1,
+		slo: "get_p99<1ms", fastWindow: time.Minute, slowWindow: time.Second}); err == nil {
+		t.Error("fast window >= slow window accepted")
+	}
+}
+
+// TestSLOBreachLifecycle drives the whole tentpole end to end: traffic
+// violates the objective, one tick flips the engine to Breaching, the
+// flight recorder captures a bundle (in memory and on disk), readiness
+// turns 503 while liveness stays 200, and draining the windows recovers.
+func TestSLOBreachLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newSLOServer(t, dir)
+
+	// Before any evaluation the engine is healthy and ready.
+	if code, body := get(t, ts.URL+"/readyz"); code != 200 || !strings.Contains(body, "slo=healthy") {
+		t.Fatalf("/readyz before traffic = %d %q", code, body)
+	}
+
+	for i := 0; i < 20; i++ {
+		get(t, ts.URL+"/get?key=7")
+	}
+	s.tick(time.Now())
+
+	// /debug/slo reports the breach with both windows burning.
+	code, body := get(t, ts.URL+"/debug/slo")
+	if code != 200 {
+		t.Fatalf("/debug/slo = %d", code)
+	}
+	var st health.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/debug/slo did not parse: %v\n%s", err, body)
+	}
+	if st.State != health.Breaching || st.Breaches != 1 {
+		t.Fatalf("slo status = %s breaches=%d, want breaching/1\n%s", st.State, st.Breaches, body)
+	}
+	var lat health.ObjectiveStatus
+	for _, o := range st.Objectives {
+		if o.Name == "get_p99" {
+			lat = o
+		}
+	}
+	if lat.State != health.Breaching || lat.FastBurn < 1 || lat.SlowBurn < 1 {
+		t.Errorf("get_p99 objective = %+v, want breaching with burn >= 1", lat)
+	}
+
+	// Liveness is untouched; readiness refuses with the objective name.
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Errorf("/healthz while breaching = %d, want 200", code)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != 503 || !strings.Contains(body, "get_p99") {
+		t.Errorf("/readyz while breaching = %d %q, want 503 naming get_p99", code, body)
+	}
+
+	// The flight recorder captured exactly one bundle at the transition.
+	code, body = get(t, ts.URL+"/debug/flightrecorder")
+	if code != 200 {
+		t.Fatalf("/debug/flightrecorder = %d", code)
+	}
+	var list []health.BundleSummary
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("bundle list did not parse: %v\n%s", err, body)
+	}
+	if len(list) != 1 || list[0].ID != 1 || !strings.Contains(list[0].Reason, "get_p99") {
+		t.Fatalf("bundle list = %+v, want one bundle blaming get_p99", list)
+	}
+	code, body = get(t, ts.URL+"/debug/flightrecorder?id=1")
+	if code != 200 {
+		t.Fatalf("/debug/flightrecorder?id=1 = %d", code)
+	}
+	var b health.Bundle
+	if err := json.Unmarshal([]byte(body), &b); err != nil {
+		t.Fatalf("bundle did not parse: %v\n%s", err, body)
+	}
+	if b.Status.State != health.Breaching {
+		t.Errorf("bundle status state = %s, want breaching", b.Status.State)
+	}
+	if wq, ok := b.Windows["get"]; !ok || wq.Count == 0 || wq.P99 <= 0 {
+		t.Errorf("bundle window quantiles for get = %+v ok=%v", wq, ok)
+	}
+	if b.Shape == nil || b.MVCC == nil || b.Runtime == nil {
+		t.Errorf("bundle missing diagnostics: shape=%v mvcc=%v runtime=%v", b.Shape, b.MVCC, b.Runtime)
+	}
+	if !strings.Contains(b.GoroutineProfile, "goroutine profile:") {
+		t.Errorf("bundle goroutine profile looks wrong: %.80q", b.GoroutineProfile)
+	}
+	if code, _ := get(t, ts.URL+"/debug/flightrecorder?id=99"); code != 404 {
+		t.Errorf("missing bundle id = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/flightrecorder?id=bogus"); code != 400 {
+		t.Errorf("bad bundle id = %d, want 400", code)
+	}
+
+	// The bundle also spilled to disk as JSON.
+	files, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spill files = %v (%v), want exactly one", files, err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil || !json.Valid(raw) {
+		t.Errorf("spilled bundle unreadable or invalid JSON: %v", err)
+	}
+
+	// /stats now carries the windowed quantiles next to the lifetime ones,
+	// and /metrics the SLO gauges.
+	_, body = get(t, ts.URL+"/stats")
+	for _, want := range []string{
+		"window_seconds 2", "window_requests ", "window_errors ",
+		"op_get_window_count ", "op_get_window_p50_ns ", "op_get_window_p99_ns ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/stats missing %q:\n%s", want, body)
+		}
+	}
+	_, body = get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`segserve_health_slo_state{objective="get_p99"} 2`,
+		`segserve_health_slo_fast_burn{objective="get_p99"}`,
+		`segserve_health_slo_threshold{objective="error_rate"} 0.5`,
+		"segserve_health_state 2",
+		"segserve_health_breaches_total 1",
+		"segserve_flight_bundles 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Recovery: rotating the whole ring away without traffic drains both
+	// windows, the engine returns to healthy, readiness comes back — and
+	// no second bundle appears (Breaching was entered once).
+	for i := 0; i < 8; i++ {
+		s.tick(time.Now())
+	}
+	if got := s.engine.State(); got != health.Healthy {
+		t.Fatalf("engine state after drain = %s, want healthy", got)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != 200 || !strings.Contains(body, "slo=healthy") {
+		t.Errorf("/readyz after recovery = %d %q", code, body)
+	}
+	if s.flight.Len() != 1 {
+		t.Errorf("flight recorder has %d bundles after recovery, want still 1", s.flight.Len())
+	}
+}
+
+// TestWindowedStatsDecay pins the windowed-vs-lifetime contrast /stats
+// exists to show: after the ring rotates past the fast window the
+// windowed count drops to zero while the lifetime count keeps the
+// history.
+func TestWindowedStatsDecay(t *testing.T) {
+	s, ts := newTestServer(t)
+	for i := 0; i < 10; i++ {
+		get(t, ts.URL+"/get?key=7")
+	}
+	_, body := get(t, ts.URL+"/stats")
+	if !strings.Contains(body, "op_get_window_count 1") { // 10 gets + the /stats fetch ordering: count >= 10
+		if !strings.Contains(body, "op_get_window_count ") {
+			t.Fatalf("/stats missing windowed count:\n%s", body)
+		}
+	}
+	// Rotate the entire ring: default slow window 5m over 5s ticks is 60
+	// epochs, rounded to 64.
+	for i := 0; i < 70; i++ {
+		s.tick(time.Now())
+	}
+	_, body = get(t, ts.URL+"/stats")
+	if strings.Contains(body, "op_get_window_count ") {
+		t.Errorf("windowed count survived a full ring rotation:\n%s", body)
+	}
+	if !strings.Contains(body, "op_get_count 10") {
+		t.Errorf("lifetime count lost after rotation:\n%s", body)
+	}
+}

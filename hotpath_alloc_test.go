@@ -3,6 +3,7 @@ package simdtree_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	simdtree "repro"
 )
@@ -118,6 +119,49 @@ func TestGetIsAllocationFree(t *testing.T) {
 				})
 				if allocs != 0 {
 					t.Errorf("snapshot Get allocates %.1f times per hit+miss pair", allocs)
+				}
+			}
+		})
+	}
+}
+
+// TestInstrumentedGetIsAllocationFree extends the gate over the
+// instrumentation decorator: timing a Get into the lifetime histograms —
+// and, once EnableWindows attaches the epoch ring, into the windowed
+// ones — must not add a single heap allocation per operation.
+func TestInstrumentedGetIsAllocationFree(t *testing.T) {
+	const n = 4096
+	for _, withWindows := range []bool{false, true} {
+		name := "plain"
+		if withWindows {
+			name = "windowed"
+		}
+		t.Run(name, func(t *testing.T) {
+			ix := simdtree.NewInstrumentedIndex[uint32, int](
+				simdtree.WithStructure(simdtree.StructureOptimizedSegTrie))
+			for i := uint32(0); i < n; i++ {
+				ix.Put(i*3, int(i))
+			}
+			if withWindows {
+				ix.EnableWindows(time.Second, 8)
+			}
+			hit, miss := uint32(n/2)*3, uint32(n/2)*3+1
+			allocs := testing.AllocsPerRun(200, func() {
+				ix.Get(hit)
+				ix.Get(miss)
+			})
+			if allocs != 0 {
+				t.Errorf("instrumented Get (%s) allocates %.1f times per hit+miss pair", name, allocs)
+			}
+			if withWindows {
+				// Sanity: the observations really did land in the window.
+				if h, ok := ix.WindowSnapshot(simdtree.OpGet, time.Second); !ok || h.Count == 0 {
+					t.Fatalf("windowed histogram saw no gets (ok=%v count=%d)", ok, h.Count)
+				}
+				// Rotation is on the owner's tick path; it must not allocate
+				// either.
+				if ra := testing.AllocsPerRun(100, ix.RotateWindows); ra != 0 {
+					t.Errorf("RotateWindows allocates %.1f times per rotation", ra)
 				}
 			}
 		})

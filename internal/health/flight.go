@@ -1,0 +1,184 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/shape"
+	"repro/internal/trace"
+)
+
+// Bundle is one diagnostics capture: everything an operator would pull
+// by hand in the first minute of an incident, frozen at the moment the
+// SLO state machine transitioned into Breaching. Every field except ID,
+// CapturedAt and Reason is optional — the capturer fills in what the
+// index it watches can report.
+type Bundle struct {
+	// ID is the recorder-assigned sequence number (1-based).
+	ID uint64 `json:"id"`
+	// CapturedAt is the capture time; Reason names the breaching
+	// objectives that triggered it.
+	CapturedAt time.Time `json:"captured_at"`
+	Reason     string    `json:"reason"`
+	// Status is the engine status at the transition.
+	Status Status `json:"status"`
+	// Windows holds the fast-window latency quantiles per op at capture
+	// time — the "what did the last 30 s look like" the lifetime
+	// histograms cannot answer.
+	Windows map[string]WindowQuantiles `json:"window_quantiles,omitempty"`
+	// SlowOps are the traces drained from the sampler's slow-op ring;
+	// Sampled is a snapshot of the recent sampled traces.
+	SlowOps []*trace.Trace `json:"slow_ops,omitempty"`
+	Sampled []*trace.Trace `json:"sampled,omitempty"`
+	// Shape is the structural-health report of the watched index.
+	Shape *shape.Report `json:"shape,omitempty"`
+	// MVCC is the snapshot-publication state, when the index is
+	// versioned.
+	MVCC *obs.MVCCSnapshot `json:"mvcc,omitempty"`
+	// Runtime is the Go runtime context (heap, goroutines, GC).
+	Runtime *obs.RuntimeSnapshot `json:"runtime,omitempty"`
+	// GoroutineProfile is the rendered goroutine profile (pprof debug=1).
+	GoroutineProfile string `json:"goroutine_profile,omitempty"`
+}
+
+// WindowQuantiles is one op's windowed latency summary inside a Bundle.
+type WindowQuantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ns"`
+	P99   float64 `json:"p99_ns"`
+	P999  float64 `json:"p999_ns"`
+}
+
+// WindowQuantilesOf summarizes one windowed histogram snapshot.
+func WindowQuantilesOf(h obs.HistogramSnapshot) WindowQuantiles {
+	return WindowQuantiles{
+		Count: h.Count,
+		P50:   h.QuantileNanos(0.50),
+		P99:   h.QuantileNanos(0.99),
+		P999:  h.QuantileNanos(0.999),
+	}
+}
+
+// GoroutineProfile renders the current goroutine profile in the pprof
+// debug=1 text form — the "what is everything doing right now" half of a
+// bundle.
+func GoroutineProfile() string {
+	var b strings.Builder
+	if p := pprof.Lookup("goroutine"); p != nil {
+		p.WriteTo(&b, 1)
+	}
+	return b.String()
+}
+
+// BundleSummary is one row of a Recorder listing.
+type BundleSummary struct {
+	ID         uint64    `json:"id"`
+	CapturedAt time.Time `json:"captured_at"`
+	Reason     string    `json:"reason"`
+}
+
+// Recorder retains the most recent bundles in a bounded in-memory ring
+// and optionally spills each to a JSON file in a directory, so bundles
+// survive the process when a breach precedes a crash or restart. All
+// methods are safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	bundles []*Bundle // oldest first; trimmed to cap
+	cap     int
+	seq     uint64
+	dir     string
+}
+
+// DefaultRecorderCap bounds the in-memory bundle ring when NewRecorder
+// is given a non-positive capacity.
+const DefaultRecorderCap = 8
+
+// NewRecorder returns a recorder retaining up to capacity bundles in
+// memory. A non-empty dir additionally spills every bundle to
+// dir/flight-<id>-<timestamp>.json (the directory is created on first
+// use; spill failures are reported by Record but do not drop the
+// in-memory copy).
+func NewRecorder(capacity int, dir string) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{cap: capacity, dir: dir}
+}
+
+// Dir returns the spill directory ("" when disabled).
+func (r *Recorder) Dir() string { return r.dir }
+
+// Record assigns the bundle its ID, retains it (evicting the oldest past
+// capacity) and spills it to disk when a directory is configured. The
+// returned error is the spill error, if any; the bundle is always
+// retained in memory.
+func (r *Recorder) Record(b *Bundle) (uint64, error) {
+	r.mu.Lock()
+	r.seq++
+	b.ID = r.seq
+	r.bundles = append(r.bundles, b)
+	if len(r.bundles) > r.cap {
+		r.bundles = append(r.bundles[:0], r.bundles[len(r.bundles)-r.cap:]...)
+	}
+	dir := r.dir
+	r.mu.Unlock()
+
+	if dir == "" {
+		return b.ID, nil
+	}
+	if err := spill(dir, b); err != nil {
+		return b.ID, fmt.Errorf("health: flight-recorder spill: %w", err)
+	}
+	return b.ID, nil
+}
+
+// spill writes one bundle as an indented JSON file.
+func spill(dir string, b *Bundle) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("flight-%06d-%s.json", b.ID, b.CapturedAt.UTC().Format("20060102T150405Z"))
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}
+
+// List summarizes the retained bundles, newest first.
+func (r *Recorder) List() []BundleSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]BundleSummary, 0, len(r.bundles))
+	for i := len(r.bundles) - 1; i >= 0; i-- {
+		b := r.bundles[i]
+		out = append(out, BundleSummary{ID: b.ID, CapturedAt: b.CapturedAt, Reason: b.Reason})
+	}
+	return out
+}
+
+// Get returns the retained bundle with the given ID.
+func (r *Recorder) Get(id uint64) (*Bundle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.bundles {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports how many bundles are currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.bundles)
+}

@@ -1,0 +1,202 @@
+// Package health is the active-health layer over the passive
+// observability stack: declarative service-level objectives (per-op
+// latency targets, error-rate ceilings), a multi-window burn-rate
+// evaluator driving a healthy → warning → breaching state machine, and a
+// flight recorder that freezes a diagnostics bundle on each breach
+// transition. Like internal/obs it is stdlib-only and sits below the
+// commands: cmd/segserve evaluates objectives continuously against
+// windowed histograms, cmd/segload evaluates the same objective strings
+// once against a finished workload run.
+package health
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Kind classifies what an Objective constrains.
+type Kind int
+
+const (
+	// LatencyQuantile bounds one op's latency quantile ("read_p99<2ms").
+	LatencyQuantile Kind = iota
+	// ErrorRate bounds the failed fraction of all operations
+	// ("error_rate<0.001").
+	ErrorRate
+)
+
+// Objective is one declarative service-level objective. Parse a list with
+// ParseObjectives; the canonical string form round-trips.
+type Objective struct {
+	// Op is the operation the objective constrains — "read", "get",
+	// "get_batch", ... matching the measurement source's op names. Empty
+	// for ErrorRate, which constrains all operations together.
+	Op string `json:"op,omitempty"`
+	// Kind selects the measured quantity.
+	Kind Kind `json:"kind"`
+	// Quantile is the latency quantile in (0, 1), e.g. 0.99 for "_p99".
+	// Zero for ErrorRate.
+	Quantile float64 `json:"quantile,omitempty"`
+	// Threshold is the ceiling the measured value must stay under:
+	// nanoseconds for LatencyQuantile, a ratio in (0, 1] for ErrorRate.
+	Threshold float64 `json:"threshold"`
+}
+
+// Name returns the objective's measurement name: "read_p99",
+// "error_rate", ...
+func (o Objective) Name() string {
+	if o.Kind == ErrorRate {
+		return "error_rate"
+	}
+	return o.Op + "_p" + quantileDigits(o.Quantile)
+}
+
+// String renders the canonical parseable form, e.g. "read_p99<2ms".
+func (o Objective) String() string {
+	if o.Kind == ErrorRate {
+		return fmt.Sprintf("error_rate<%g", o.Threshold)
+	}
+	return o.Name() + "<" + time.Duration(o.Threshold).String()
+}
+
+// quantileDigits renders 0.99 as "99", 0.999 as "999", 0.5 as "50".
+func quantileDigits(q float64) string {
+	s := strconv.FormatFloat(q, 'f', -1, 64)
+	s = strings.TrimPrefix(s, "0.")
+	if len(s) == 1 {
+		s += "0" // 0.5 → "50", matching the conventional p50 spelling
+	}
+	return s
+}
+
+// ParseObjectives parses a comma-separated objective list such as
+//
+//	read_p99<2ms,write_p999<10ms,error_rate<0.001
+//
+// Each entry is <name>'<'<ceiling>. Latency names are <op>_p<digits> with
+// the digits read as the decimal fraction (p50 → 0.50, p999 → 0.999) and
+// a Go duration ceiling; error_rate takes a ratio in (0, 1]. Only '<' is
+// supported: objectives are ceilings by construction.
+func ParseObjectives(s string) ([]Objective, error) {
+	var out []Objective
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(part, "<")
+		if !ok {
+			return nil, fmt.Errorf("health: objective %q: want <name><<ceiling>", part)
+		}
+		name, value = strings.TrimSpace(name), strings.TrimSpace(value)
+		if name == "error_rate" {
+			r, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("health: objective %q: bad error-rate ceiling: %w", part, err)
+			}
+			if r <= 0 || r > 1 {
+				return nil, fmt.Errorf("health: objective %q: error-rate ceiling must be in (0, 1]", part)
+			}
+			out = append(out, Objective{Kind: ErrorRate, Threshold: r})
+			continue
+		}
+		i := strings.LastIndex(name, "_p")
+		if i <= 0 {
+			return nil, fmt.Errorf("health: objective %q: unknown name %q (want <op>_p<digits> or error_rate)", part, name)
+		}
+		op, digits := name[:i], name[i+2:]
+		if digits == "" || strings.TrimLeft(digits, "0123456789") != "" {
+			return nil, fmt.Errorf("health: objective %q: bad quantile %q", part, "p"+digits)
+		}
+		q, err := strconv.ParseFloat("0."+digits, 64)
+		if err != nil || q <= 0 || q >= 1 {
+			return nil, fmt.Errorf("health: objective %q: quantile p%s out of (0, 1)", part, digits)
+		}
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return nil, fmt.Errorf("health: objective %q: bad latency ceiling: %w", part, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("health: objective %q: latency ceiling must be positive", part)
+		}
+		out = append(out, Objective{Op: op, Kind: LatencyQuantile, Quantile: q, Threshold: float64(d)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("health: empty objective list %q", s)
+	}
+	return out, nil
+}
+
+// Sample is one measurement set objectives are evaluated against —
+// windowed (the engine probes one per window) or whole-run (cmd/segload
+// builds one from a finished driver run).
+type Sample struct {
+	// Ops maps op name to its latency distribution over the sample's span.
+	Ops map[string]obs.HistogramSnapshot
+	// Errors and Total count failed and all attempted operations; their
+	// ratio is what ErrorRate objectives bound. Total includes the failed
+	// attempts.
+	Errors, Total uint64
+}
+
+// Value returns the objective's measured value in s — interpolated
+// quantile nanoseconds for latency objectives, the failed fraction for
+// error rate. ok is false when the sample holds no data for the
+// objective (an op that saw no traffic burns nothing).
+func (o Objective) Value(s Sample) (v float64, ok bool) {
+	if o.Kind == ErrorRate {
+		if s.Total == 0 {
+			return 0, false
+		}
+		return float64(s.Errors) / float64(s.Total), true
+	}
+	h, ok := s.Ops[o.Op]
+	if !ok || h.Count == 0 {
+		return 0, false
+	}
+	return h.QuantileNanos(o.Quantile), true
+}
+
+// Burn returns the objective's burn rate in s: measured value divided by
+// the ceiling, so 1.0 is exactly at target and anything above is
+// violating. No data reads as burn 0.
+func (o Objective) Burn(s Sample) float64 {
+	v, ok := o.Value(s)
+	if !ok {
+		return 0
+	}
+	return v / o.Threshold
+}
+
+// Violation is one objective a sample failed.
+type Violation struct {
+	Objective Objective `json:"objective"`
+	// Value is the measured quantity (nanoseconds or ratio).
+	Value float64 `json:"value"`
+}
+
+// String renders the violation with the measured value next to the
+// ceiling, in the objective's own unit.
+func (v Violation) String() string {
+	if v.Objective.Kind == ErrorRate {
+		return fmt.Sprintf("%s: measured %.4g", v.Objective, v.Value)
+	}
+	return fmt.Sprintf("%s: measured %s", v.Objective, time.Duration(v.Value).Round(time.Microsecond))
+}
+
+// Check evaluates every objective against one sample and returns the
+// violations — the single-shot form cmd/segload gates a workload run
+// with.
+func Check(objs []Objective, s Sample) []Violation {
+	var out []Violation
+	for _, o := range objs {
+		if v, ok := o.Value(s); ok && v >= o.Threshold {
+			out = append(out, Violation{Objective: o, Value: v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := ParseObjectives("read_p99<2ms, write_p999<10ms ,error_rate<0.001,get_batch_p50<500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 4 {
+		t.Fatalf("parsed %d objectives, want 4", len(objs))
+	}
+	want := []struct {
+		name      string
+		kind      Kind
+		op        string
+		quantile  float64
+		threshold float64
+	}{
+		{"read_p99", LatencyQuantile, "read", 0.99, float64(2 * time.Millisecond)},
+		{"write_p999", LatencyQuantile, "write", 0.999, float64(10 * time.Millisecond)},
+		{"error_rate", ErrorRate, "", 0, 0.001},
+		{"get_batch_p50", LatencyQuantile, "get_batch", 0.5, float64(500 * time.Microsecond)},
+	}
+	for i, w := range want {
+		o := objs[i]
+		if o.Name() != w.name || o.Kind != w.kind || o.Op != w.op ||
+			o.Quantile != w.quantile || o.Threshold != w.threshold {
+			t.Errorf("objs[%d] = %+v, want %+v", i, o, w)
+		}
+	}
+}
+
+// TestObjectiveStringRoundTrips pins the canonical form: parsing an
+// objective's String() yields the same objective.
+func TestObjectiveStringRoundTrips(t *testing.T) {
+	for _, s := range []string{"read_p99<2ms", "write_p999<1s", "error_rate<0.05", "get_p50<500µs"} {
+		objs, err := ParseObjectives(s)
+		if err != nil {
+			t.Fatalf("ParseObjectives(%q): %v", s, err)
+		}
+		again, err := ParseObjectives(objs[0].String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", objs[0].String(), s, err)
+		}
+		if again[0] != objs[0] {
+			t.Errorf("%q round-tripped to %+v, want %+v", s, again[0], objs[0])
+		}
+	}
+}
+
+func TestParseObjectivesRejects(t *testing.T) {
+	for _, s := range []string{
+		"",                 // empty list
+		" , ,",             // only empty entries
+		"read_p99",         // no ceiling
+		"read_q99<2ms",     // not _p
+		"_p99<2ms",         // empty op
+		"read_p<2ms",       // no digits
+		"read_pxx<2ms",     // non-digits
+		"read_p0<2ms",      // quantile 0
+		"read_p99<nope",    // bad duration
+		"read_p99<-2ms",    // negative ceiling
+		"read_p99<0s",      // zero ceiling
+		"error_rate<0",     // rate at 0
+		"error_rate<1.5",   // rate above 1
+		"error_rate<horse", // not a number
+	} {
+		if objs, err := ParseObjectives(s); err == nil {
+			t.Errorf("ParseObjectives(%q) accepted: %+v", s, objs)
+		}
+	}
+}
+
+// sampleWith builds a Sample whose "read" histogram holds count
+// observations of d, with the given error counts.
+func sampleWith(count int, d time.Duration, errs, total uint64) Sample {
+	var h obs.Histogram
+	for i := 0; i < count; i++ {
+		h.Observe(d)
+	}
+	return Sample{
+		Ops:    map[string]obs.HistogramSnapshot{"read": h.Read()},
+		Errors: errs,
+		Total:  total,
+	}
+}
+
+func TestObjectiveValueAndBurn(t *testing.T) {
+	// 2µs observations against a 1µs ceiling: burn around 2.
+	objs, _ := ParseObjectives("read_p99<1us,error_rate<0.1")
+	lat, rate := objs[0], objs[1]
+	s := sampleWith(100, 2*time.Microsecond, 5, 100)
+
+	v, ok := lat.Value(s)
+	if !ok || v < float64(time.Microsecond) {
+		t.Errorf("latency value = %g ok=%v, want ~2000ns", v, ok)
+	}
+	if b := lat.Burn(s); b < 1 || b > 5 {
+		t.Errorf("latency burn = %g, want roughly 2", b)
+	}
+	v, ok = rate.Value(s)
+	if !ok || v != 0.05 {
+		t.Errorf("error-rate value = %g ok=%v, want 0.05", v, ok)
+	}
+	if b := rate.Burn(s); b != 0.5 {
+		t.Errorf("error-rate burn = %g, want 0.5", b)
+	}
+
+	// No data: ok=false and burn 0, for both kinds.
+	empty := Sample{}
+	if _, ok := lat.Value(empty); ok {
+		t.Error("latency Value on empty sample reported ok")
+	}
+	if _, ok := rate.Value(empty); ok {
+		t.Error("error-rate Value on empty sample reported ok")
+	}
+	if lat.Burn(empty) != 0 || rate.Burn(empty) != 0 {
+		t.Error("burn on empty sample nonzero")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	objs, _ := ParseObjectives("read_p99<1us,write_p99<1us,error_rate<0.5")
+	s := sampleWith(100, 2*time.Microsecond, 1, 100)
+	vs := Check(objs, s)
+	// read violates; write saw no traffic (burns nothing); error rate is
+	// 0.01 against 0.5.
+	if len(vs) != 1 || vs[0].Objective.Name() != "read_p99" {
+		t.Fatalf("Check = %+v, want exactly read_p99", vs)
+	}
+	if vs[0].Value < float64(time.Microsecond) {
+		t.Errorf("violation value = %g, want above the 1µs ceiling", vs[0].Value)
+	}
+	if got := vs[0].String(); got == "" {
+		t.Error("violation String empty")
+	}
+	if vs := Check(objs, Sample{}); len(vs) != 0 {
+		t.Errorf("Check on empty sample = %+v, want none", vs)
+	}
+}

@@ -71,6 +71,18 @@ type Instrumented[K keys.Key, V any] struct {
 	// sampler, when set, traces 1-in-N Gets into its rings (always-on
 	// production tracing); nil means no sampling and zero extra cost.
 	sampler atomic.Pointer[trace.Sampler]
+	// windows, when set (EnableWindows), additionally records every timed
+	// operation into per-op windowed histograms, so recent-window
+	// quantiles ("p99 over the last 30 s") are available next to the
+	// lifetime figures; nil means one pointer load of extra cost.
+	windows atomic.Pointer[opWindows]
+}
+
+// opWindows is the attached windowed-histogram set: one ring per op,
+// rotated together by RotateWindows.
+type opWindows struct {
+	tick  time.Duration
+	hists [opCount]*obs.WindowedHistogram
 }
 
 // NewInstrumented wraps inner. withCounters additionally attaches a
@@ -122,10 +134,59 @@ func (ix *Instrumented[K, V]) begin() (time.Time, *obs.Counters) {
 }
 
 func (ix *Instrumented[K, V]) end(op Op, start time.Time, prev *obs.Counters) {
-	ix.hists[op].Observe(time.Since(start))
+	d := time.Since(start)
+	ix.hists[op].Observe(d)
+	if w := ix.windows.Load(); w != nil {
+		w.hists[op].Observe(d)
+	}
 	if ix.counter != nil {
 		obs.Enable(prev)
 	}
+}
+
+// EnableWindows attaches (replacing any previous) per-op windowed
+// histograms with the given epoch tick and ring size: every timed
+// operation is recorded into the current epoch next to the lifetime
+// histogram, and WindowSnapshot answers quantiles over trailing windows
+// up to epochs·tick. The caller owns rotation: call RotateWindows from
+// one goroutine every tick (cmd/segserve runs a ticker; tests rotate
+// manually for determinism).
+func (ix *Instrumented[K, V]) EnableWindows(tick time.Duration, epochs int) {
+	w := &opWindows{tick: tick}
+	for i := range w.hists {
+		w.hists[i] = obs.NewWindowedHistogram(tick, epochs)
+	}
+	ix.windows.Store(w)
+}
+
+// WindowTick returns the attached windows' epoch tick, or 0 when
+// EnableWindows was never called.
+func (ix *Instrumented[K, V]) WindowTick() time.Duration {
+	if w := ix.windows.Load(); w != nil {
+		return w.tick
+	}
+	return 0
+}
+
+// RotateWindows closes the current epoch of every op's windowed
+// histogram. Single-owner, like obs.WindowedHistogram.Rotate; a no-op
+// when windows are not enabled.
+func (ix *Instrumented[K, V]) RotateWindows() {
+	if w := ix.windows.Load(); w != nil {
+		for _, h := range w.hists {
+			h.Rotate()
+		}
+	}
+}
+
+// WindowSnapshot merges the most recent ⌈window/tick⌉ epochs of one op's
+// latency into a snapshot; ok is false when windows are not enabled.
+func (ix *Instrumented[K, V]) WindowSnapshot(op Op, window time.Duration) (obs.HistogramSnapshot, bool) {
+	w := ix.windows.Load()
+	if w == nil {
+		return obs.HistogramSnapshot{}, false
+	}
+	return w.hists[op].ReadWindow(window), true
 }
 
 // Get implements Index. When sampling is enabled (EnableSampling) the

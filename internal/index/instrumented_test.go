@@ -3,6 +3,7 @@ package index_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bitmask"
 	"repro/internal/index"
@@ -54,6 +55,59 @@ func TestInstrumentedRecordsPerOp(t *testing.T) {
 	ix.Reset()
 	if got := ix.Histogram(index.OpGet).Count; got != 0 {
 		t.Errorf("after Reset, get count = %d", got)
+	}
+}
+
+// TestInstrumentedWindows covers the windowed-metrics attachment: before
+// EnableWindows the snapshot reports no data, afterwards operations land
+// in both the lifetime histogram and the current epoch, and rotating the
+// ring away drains the window while the lifetime count stays.
+func TestInstrumentedWindows(t *testing.T) {
+	ix := index.NewInstrumented(newSmallSegTree(), false)
+	ix.Put(1, 1)
+
+	if _, ok := ix.WindowSnapshot(index.OpGet, time.Minute); ok {
+		t.Fatal("WindowSnapshot reported data before EnableWindows")
+	}
+	if ix.WindowTick() != 0 {
+		t.Fatalf("WindowTick before enable = %v", ix.WindowTick())
+	}
+	ix.RotateWindows() // must be a no-op, not a panic
+
+	ix.EnableWindows(time.Second, 4)
+	if ix.WindowTick() != time.Second {
+		t.Fatalf("WindowTick = %v", ix.WindowTick())
+	}
+	for i := 0; i < 10; i++ {
+		ix.Get(1)
+	}
+	h, ok := ix.WindowSnapshot(index.OpGet, time.Second)
+	if !ok || h.Count != 10 {
+		t.Fatalf("window get count = %d ok=%v, want 10", h.Count, ok)
+	}
+	if got := ix.Histogram(index.OpGet).Count; got != 10 {
+		t.Fatalf("lifetime get count = %d, want 10", got)
+	}
+
+	// One rotation: the observations leave the 1-tick window but stay in
+	// a 2-tick one.
+	ix.RotateWindows()
+	if h, _ := ix.WindowSnapshot(index.OpGet, time.Second); h.Count != 0 {
+		t.Errorf("1-tick window after rotate = %d, want 0", h.Count)
+	}
+	if h, _ := ix.WindowSnapshot(index.OpGet, 2*time.Second); h.Count != 10 {
+		t.Errorf("2-tick window after rotate = %d, want 10", h.Count)
+	}
+
+	// A full ring of rotations drains every window; lifetime persists.
+	for i := 0; i < 4; i++ {
+		ix.RotateWindows()
+	}
+	if h, _ := ix.WindowSnapshot(index.OpGet, time.Hour); h.Count != 0 {
+		t.Errorf("window count after full rotation = %d, want 0", h.Count)
+	}
+	if got := ix.Histogram(index.OpGet).Count; got != 10 {
+		t.Errorf("lifetime count after rotation = %d, want 10", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -76,6 +77,39 @@ func TestQuantileNanosZerosAndEmpty(t *testing.T) {
 	}
 	if got, want := s.QuantileNanos(2), s.QuantileNanos(1); got != want {
 		t.Errorf("QuantileNanos(2) = %g, want %g", got, want)
+	}
+}
+
+// TestQuantileNanosSingleObservation pins the count=1 edge: every
+// quantile must interpolate inside the lone bucket.
+func TestQuantileNanosSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond) // bucket [64, 128)
+	s := h.Read()
+	for _, q := range []float64{0.01, 0.5, 0.99, 0.999, 1} {
+		if got := s.QuantileNanos(q); got < 64 || got > 128 {
+			t.Errorf("QuantileNanos(%g) = %g, want within [64, 128]", q, got)
+		}
+	}
+}
+
+// TestQuantileNanosTopBucketSaturation pins the other end: the largest
+// representable duration lands in bucket 63 ([2^62, 2^63)) and the
+// estimator stays finite there.
+func TestQuantileNanosTopBucketSaturation(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 3; i++ {
+		h.Observe(time.Duration(math.MaxInt64))
+	}
+	s := h.Read()
+	for _, q := range []float64{0.5, 0.999, 1} {
+		got := s.QuantileNanos(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("saturated QuantileNanos(%g) = %g, want finite", q, got)
+		}
+		if got < math.Exp2(62) || got > math.Exp2(63) {
+			t.Errorf("saturated QuantileNanos(%g) = %g, want within [2^62, 2^63]", q, got)
+		}
 	}
 }
 

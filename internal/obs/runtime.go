@@ -73,6 +73,50 @@ func WriteRuntimeProm(w io.Writer, prefix string) error {
 	return nil
 }
 
+// RuntimeSnapshot is a point-in-time copy of the curated scalar runtime
+// metrics — the runtime context a diagnostics bundle (the flight
+// recorder, internal/health) freezes next to the algorithmic evidence.
+// Histogram-kinded runtime metrics are exposition-only and not captured
+// here.
+type RuntimeSnapshot struct {
+	// HeapObjectsBytes is bytes occupied by live and unswept heap objects.
+	HeapObjectsBytes uint64 `json:"heap_objects_bytes"`
+	// MemoryTotalBytes is total bytes mapped by the Go runtime.
+	MemoryTotalBytes uint64 `json:"memory_total_bytes"`
+	// Goroutines is the count of live goroutines.
+	Goroutines uint64 `json:"goroutines"`
+	// GCCycles is completed GC cycles since process start.
+	GCCycles uint64 `json:"gc_cycles_total"`
+	// HeapAllocsBytes is cumulative bytes allocated on the heap.
+	HeapAllocsBytes uint64 `json:"heap_allocs_bytes_total"`
+}
+
+// ReadRuntimeSnapshot samples the scalar runtime metrics. A metric
+// missing from the running Go version reads as zero.
+func ReadRuntimeSnapshot() RuntimeSnapshot {
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/memory/classes/total:bytes"},
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/gc/heap/allocs:bytes"},
+	}
+	metrics.Read(samples)
+	get := func(i int) uint64 {
+		if samples[i].Value.Kind() == metrics.KindUint64 {
+			return samples[i].Value.Uint64()
+		}
+		return 0
+	}
+	return RuntimeSnapshot{
+		HeapObjectsBytes: get(0),
+		MemoryTotalBytes: get(1),
+		Goroutines:       get(2),
+		GCCycles:         get(3),
+		HeapAllocsBytes:  get(4),
+	}
+}
+
 func writeRuntimeScalar(w io.Writer, name, kind, help, value string) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind); err != nil {
 		return err

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// This file adds the *recent-window* half of the latency story. Histogram
+// accumulates since process start, which is the right denominator for
+// lifetime throughput but can never surface a regression that began a
+// minute ago: after an hour of fast operations the lifetime p99 barely
+// moves when the last 30 seconds went bad. WindowedHistogram keeps a ring
+// of epoch histograms rotated on a coarse external tick, so "p99 over the
+// last 30 s" is a merge of the last few epochs — the quantity an SLO
+// engine (internal/health) evaluates and pages on.
+
+// The windowed Observe and rotation path sit on the instrumented
+// per-operation hot path, so they must stay allocation-free; the
+// directive keeps the //simdtree:hotpath annotations checked by
+// cmd/simdvet.
+//
+//simdtree:kernels ^Windowed(Histogram|Counter)\.(Observe|Add|Rotate)$
+
+// WindowedHistogram is a ring of epoch Histograms: Observe records into
+// the current epoch, Rotate (driven by one owner on a coarse tick —
+// typically a few seconds) resets the oldest epoch and makes it current,
+// and ReadWindow merges the most recent ⌈window/tick⌉ epochs into one
+// HistogramSnapshot.
+//
+// Observe is lock-free: one atomic epoch-index load plus the two atomic
+// adds of the underlying Histogram, safe for any number of concurrent
+// observers. Rotate must be called from a single goroutine (the owner's
+// ticker); it resets the slot *before* publishing the new index, so a
+// concurrent Observe lands either in the epoch that just closed or in the
+// freshly zeroed one — never in a half-reset slot, and never lost, as
+// long as fewer than a full ring of rotations pass mid-Observe (epochs
+// are coarse; an Observe is two atomic adds).
+type WindowedHistogram struct {
+	epochs []Histogram
+	mask   uint64
+	cur    atomic.Uint64
+	tick   time.Duration
+}
+
+// NewWindowedHistogram returns a histogram windowed over epochs ticks of
+// the given duration, i.e. able to answer ReadWindow for windows up to
+// epochs·tick. The epoch count is rounded up to a power of two (minimum
+// 2, so the current epoch never aliases the one being reset); tick must
+// be positive.
+func NewWindowedHistogram(tick time.Duration, epochs int) *WindowedHistogram {
+	if tick <= 0 {
+		tick = time.Second
+	}
+	c := 2
+	for c < epochs {
+		c <<= 1
+	}
+	return &WindowedHistogram{epochs: make([]Histogram, c), mask: uint64(c - 1), tick: tick}
+}
+
+// Tick returns the rotation period the window was built for.
+func (w *WindowedHistogram) Tick() time.Duration { return w.tick }
+
+// Epochs returns the ring size: the maximum window is Epochs()·Tick().
+func (w *WindowedHistogram) Epochs() int { return len(w.epochs) }
+
+// Observe records one duration into the current epoch.
+//
+//simdtree:hotpath
+func (w *WindowedHistogram) Observe(d time.Duration) {
+	w.epochs[w.cur.Load()&w.mask].Observe(d)
+}
+
+// Rotate closes the current epoch: the oldest slot is zeroed and becomes
+// the new current epoch. Call it from a single owner goroutine every
+// Tick(). (Single-owner is why this is a plain load+store, not an Add:
+// the reset must be published before the index moves.)
+//
+//simdtree:hotpath
+func (w *WindowedHistogram) Rotate() {
+	next := w.cur.Load() + 1
+	w.epochs[next&w.mask].Reset()
+	w.cur.Store(next)
+}
+
+// ReadWindow merges the most recent ⌈window/tick⌉ epochs — always
+// including the current, still-open one — into a single snapshot. The
+// window is clamped to [tick, Epochs()·tick]; the answer therefore spans
+// between (n-1) and n ticks of wall time depending on how far the current
+// epoch has progressed.
+func (w *WindowedHistogram) ReadWindow(window time.Duration) HistogramSnapshot {
+	n := int((window + w.tick - 1) / w.tick)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(w.epochs) {
+		n = len(w.epochs)
+	}
+	cur := w.cur.Load()
+	var s HistogramSnapshot
+	for i := 0; i < n; i++ {
+		s.Merge(w.epochs[(cur-uint64(i))&w.mask].Read())
+	}
+	return s
+}
+
+// WindowedCounter is the counting sibling of WindowedHistogram: a ring of
+// epoch counters answering "how many in the last d". The SLO engine's
+// error-rate objectives divide two of these (errors over totals in the
+// same window). Concurrency contract as WindowedHistogram: Add is
+// lock-free, Rotate is single-owner.
+type WindowedCounter struct {
+	epochs []atomic.Uint64
+	mask   uint64
+	cur    atomic.Uint64
+	tick   time.Duration
+}
+
+// NewWindowedCounter returns a counter windowed over epochs ticks of the
+// given duration, with the same rounding rules as NewWindowedHistogram.
+func NewWindowedCounter(tick time.Duration, epochs int) *WindowedCounter {
+	if tick <= 0 {
+		tick = time.Second
+	}
+	c := 2
+	for c < epochs {
+		c <<= 1
+	}
+	return &WindowedCounter{epochs: make([]atomic.Uint64, c), mask: uint64(c - 1), tick: tick}
+}
+
+// Tick returns the rotation period the window was built for.
+func (w *WindowedCounter) Tick() time.Duration { return w.tick }
+
+// Add counts n events in the current epoch.
+//
+//simdtree:hotpath
+func (w *WindowedCounter) Add(n uint64) {
+	w.epochs[w.cur.Load()&w.mask].Add(n)
+}
+
+// Rotate closes the current epoch; single-owner, like
+// WindowedHistogram.Rotate.
+//
+//simdtree:hotpath
+func (w *WindowedCounter) Rotate() {
+	next := w.cur.Load() + 1
+	w.epochs[next&w.mask].Store(0)
+	w.cur.Store(next)
+}
+
+// ReadWindow sums the most recent ⌈window/tick⌉ epochs, including the
+// current one, clamped to the ring size.
+func (w *WindowedCounter) ReadWindow(window time.Duration) uint64 {
+	n := int((window + w.tick - 1) / w.tick)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(w.epochs) {
+		n = len(w.epochs)
+	}
+	cur := w.cur.Load()
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += w.epochs[(cur-uint64(i))&w.mask].Load()
+	}
+	return sum
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowedHistogramRoundsEpochs(t *testing.T) {
+	cases := []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {6, 8}, {8, 8}, {60, 64},
+	}
+	for _, c := range cases {
+		if got := NewWindowedHistogram(time.Second, c.ask).Epochs(); got != c.want {
+			t.Errorf("Epochs(%d) = %d, want %d", c.ask, got, c.want)
+		}
+	}
+	if w := NewWindowedHistogram(0, 4); w.Tick() != time.Second {
+		t.Errorf("zero tick defaulted to %v, want 1s", w.Tick())
+	}
+}
+
+// TestWindowedHistogramRotation pins the core contract: ReadWindow spans
+// exactly the last ⌈window/tick⌉ epochs, and observations rotated past
+// the window drop out while the ring still holds them further back.
+func TestWindowedHistogramRotation(t *testing.T) {
+	w := NewWindowedHistogram(time.Second, 4)
+	// Epoch 0: three observations; epoch 1: two; epoch 2 (current): one.
+	for i := 0; i < 3; i++ {
+		w.Observe(100 * time.Nanosecond)
+	}
+	w.Rotate()
+	for i := 0; i < 2; i++ {
+		w.Observe(100 * time.Nanosecond)
+	}
+	w.Rotate()
+	w.Observe(100 * time.Nanosecond)
+
+	for _, c := range []struct {
+		window time.Duration
+		want   uint64
+	}{
+		{time.Second, 1},             // current epoch only
+		{2 * time.Second, 3},         // current + previous
+		{3 * time.Second, 6},         // all three
+		{time.Hour, 6},               // clamped to the ring
+		{0, 1},                       // clamped up to one epoch
+		{500 * time.Millisecond, 1},  // sub-tick rounds up to one epoch
+		{2500 * time.Millisecond, 6}, // 2.5 ticks rounds up to three epochs
+	} {
+		if got := w.ReadWindow(c.window).Count; got != c.want {
+			t.Errorf("ReadWindow(%v).Count = %d, want %d", c.window, got, c.want)
+		}
+	}
+
+	// Rotating a full ring away evicts everything: the slot reuse zeroes
+	// old epochs before they re-enter the window.
+	for i := 0; i < w.Epochs(); i++ {
+		w.Rotate()
+	}
+	if got := w.ReadWindow(time.Hour).Count; got != 0 {
+		t.Errorf("count after full-ring rotation = %d, want 0", got)
+	}
+}
+
+// TestWindowedQuantileEdges runs the quantile edge cases through the
+// windowed merge: empty window, a single observation, all-zero durations
+// and top-bucket saturation must all answer sanely.
+func TestWindowedQuantileEdges(t *testing.T) {
+	w := NewWindowedHistogram(time.Second, 4)
+
+	// Empty window: zero, not NaN or a blowup.
+	if got := w.ReadWindow(time.Second).QuantileNanos(0.99); got != 0 {
+		t.Errorf("empty window p99 = %g, want 0", got)
+	}
+
+	// A single observation answers every quantile within its bucket.
+	w.Observe(100 * time.Nanosecond) // bucket [64, 128)
+	s := w.ReadWindow(time.Second)
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 0.999} {
+		if got := s.QuantileNanos(q); got < 64 || got > 128 {
+			t.Errorf("single-observation QuantileNanos(%g) = %g, want within [64, 128]", q, got)
+		}
+	}
+
+	// All-zero durations: quantiles stay at zero.
+	w.Rotate()
+	w.Rotate() // the single observation is still in the ring, so skip past it
+	w.Rotate()
+	w.Rotate()
+	for i := 0; i < 10; i++ {
+		w.Observe(0)
+	}
+	if got := w.ReadWindow(time.Second).QuantileNanos(0.99); got != 0 {
+		t.Errorf("all-zero p99 = %g, want 0", got)
+	}
+
+	// Top-bucket saturation: the largest representable duration lands in
+	// bucket 63 ([2^62, 2^63)) and the interpolated quantile stays finite
+	// and inside that bucket.
+	w.Rotate()
+	w.Observe(time.Duration(math.MaxInt64))
+	s = w.ReadWindow(time.Second)
+	got := s.QuantileNanos(0.999)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("saturated p999 = %g, want finite", got)
+	}
+	if got < math.Exp2(62) || got > math.Exp2(63) {
+		t.Errorf("saturated p999 = %g, want within [2^62, 2^63]", got)
+	}
+}
+
+// TestWindowedHistogramConcurrentRotate is the -race rotation test: many
+// goroutines observe while the owner rotates fewer than a full ring, and
+// every observation must land in exactly one epoch — the merged window
+// neither loses nor double-counts.
+func TestWindowedHistogramConcurrentRotate(t *testing.T) {
+	const (
+		observers = 8
+		perG      = 5000
+		rotations = 6 // fewer than the 16-slot ring below
+	)
+	w := NewWindowedHistogram(time.Second, 16)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < observers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				w.Observe(time.Duration(i%1000) * time.Nanosecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-start
+		for i := 0; i < rotations; i++ {
+			w.Rotate()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	<-done
+	if got, want := w.ReadWindow(time.Hour).Count, uint64(observers*perG); got != want {
+		t.Fatalf("merged count after concurrent rotation = %d, want %d", got, want)
+	}
+}
+
+// TestWindowedLifetimeDivergence reproduces the scenario windowed
+// metrics exist for (EXPERIMENTS.md "windowed vs lifetime quantiles"):
+// an hour of healthy traffic followed by a 30-second stall. The lifetime
+// p99 barely moves — the hour of history dominates the rank — while the
+// 30 s windowed p99 jumps to the stall latency. The logged figures are
+// the source of the numbers quoted in the docs.
+func TestWindowedLifetimeDivergence(t *testing.T) {
+	const (
+		tick        = 5 * time.Second
+		fastLatency = 800 * time.Nanosecond
+		slowLatency = 5 * time.Millisecond
+	)
+	var lifetime Histogram
+	w := NewWindowedHistogram(tick, 16)
+	observe := func(d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			lifetime.Observe(d)
+			w.Observe(d)
+		}
+	}
+
+	// One simulated hour of healthy traffic: 720 five-second epochs of
+	// fast operations, rotating like segserve's ticker would.
+	for epoch := 0; epoch < 720; epoch++ {
+		observe(fastLatency, 100)
+		w.Rotate()
+	}
+	healthyWindowP99 := w.ReadWindow(30 * time.Second).QuantileNanos(0.99)
+
+	// A 30-second stall: six epochs where almost everything is slow.
+	for epoch := 0; epoch < 6; epoch++ {
+		observe(slowLatency, 90)
+		observe(fastLatency, 10)
+		w.Rotate()
+	}
+
+	lifetimeP99 := lifetime.Read().QuantileNanos(0.99)
+	windowP99 := w.ReadWindow(30 * time.Second).QuantileNanos(0.99)
+	t.Logf("healthy: window p99 = %.0f ns; after 30s stall: lifetime p99 = %.0f ns, 30s-window p99 = %.0f ns (%.0fx divergence)",
+		healthyWindowP99, lifetimeP99, windowP99, windowP99/lifetimeP99)
+
+	// The lifetime p99 must still sit in the fast-latency regime (the
+	// stall is ~0.7% of an hour of observations) while the windowed p99
+	// reports the stall.
+	if lifetimeP99 > float64(10*fastLatency) {
+		t.Errorf("lifetime p99 = %.0f ns moved into the stall regime; the hour of history should dominate", lifetimeP99)
+	}
+	if windowP99 < float64(slowLatency)/2 {
+		t.Errorf("30s-window p99 = %.0f ns did not surface the %.0v stall", windowP99, slowLatency)
+	}
+	if windowP99/lifetimeP99 < 100 {
+		t.Errorf("divergence = %.0fx, want >= 100x", windowP99/lifetimeP99)
+	}
+}
+
+func TestWindowedCounter(t *testing.T) {
+	c := NewWindowedCounter(time.Second, 4)
+	c.Add(3)
+	c.Rotate()
+	c.Add(2)
+	c.Rotate()
+	c.Add(1)
+	for _, tc := range []struct {
+		window time.Duration
+		want   uint64
+	}{
+		{time.Second, 1}, {2 * time.Second, 3}, {3 * time.Second, 6}, {time.Hour, 6},
+	} {
+		if got := c.ReadWindow(tc.window); got != tc.want {
+			t.Errorf("ReadWindow(%v) = %d, want %d", tc.window, got, tc.want)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		c.Rotate()
+	}
+	if got := c.ReadWindow(time.Hour); got != 0 {
+		t.Errorf("count after full-ring rotation = %d, want 0", got)
+	}
+	if c2 := NewWindowedCounter(0, 0); c2.Tick() != time.Second {
+		t.Errorf("zero tick defaulted to %v, want 1s", c2.Tick())
+	}
+}

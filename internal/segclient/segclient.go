@@ -213,21 +213,32 @@ func (c *Client) Stats(ctx context.Context) (map[string]float64, error) {
 	return out, nil
 }
 
-// Healthz probes the server's liveness endpoint.
+// Healthz probes the server's liveness endpoint — pure process-up, never
+// affected by the server's SLO state.
 func (c *Client) Healthz(ctx context.Context) error {
 	_, err := c.get(ctx, "/healthz", nil)
 	return err
 }
 
-// WaitReady polls /healthz until the server answers, ctx is done, or
+// Readyz probes the server's readiness endpoint. A server started with
+// -ready-slo answers 503 while its SLO state is breaching, which
+// surfaces here as a *StatusError with Code 503.
+func (c *Client) Readyz(ctx context.Context) error {
+	_, err := c.get(ctx, "/readyz", nil)
+	return err
+}
+
+// WaitReady polls /readyz until the server answers 2xx, ctx is done, or
 // timeout elapses — the startup handshake `segload -target http` uses so
-// a freshly exec'd segserve need not be racily slept on.
+// a freshly exec'd segserve need not be racily slept on. Readiness, not
+// liveness, is the right gate for a load client: an SLO-breaching server
+// (under -ready-slo) is alive but should not receive more traffic yet.
 func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var last error
 	for {
-		if last = c.Healthz(ctx); last == nil {
+		if last = c.Readyz(ctx); last == nil {
 			return nil
 		}
 		select {

@@ -90,6 +90,9 @@ func stubServer(t *testing.T) (*httptest.Server, *sync.Map) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok version=1")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv, &m
@@ -178,6 +181,9 @@ func TestClientStatsHealthzAndErrors(t *testing.T) {
 	if err := c.Healthz(ctx); err != nil {
 		t.Fatalf("Healthz: %v", err)
 	}
+	if err := c.Readyz(ctx); err != nil {
+		t.Fatalf("Readyz: %v", err)
+	}
 
 	// A 400 surfaces as StatusError with the code and body attached.
 	err = c.Put(ctx, 0, "")
@@ -203,5 +209,32 @@ func TestWaitReady(t *testing.T) {
 	err := dead.WaitReady(context.Background(), 150*time.Millisecond)
 	if err == nil {
 		t.Fatal("WaitReady against dead address succeeded")
+	}
+}
+
+// TestWaitReadyRespectsBreachingServer pins that WaitReady gates on
+// readiness, not liveness: a server answering /healthz 200 but /readyz
+// 503 (SLO breaching under -ready-slo) is not ready.
+func TestWaitReadyRespectsBreachingServer(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok version=1")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "breaching get_p99", http.StatusServiceUnavailable)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := New(srv.URL)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("Healthz on breaching server: %v", err)
+	}
+	var se *StatusError
+	if err := c.Readyz(ctx); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("Readyz on breaching server = %v, want StatusError{503}", err)
+	}
+	if err := c.WaitReady(ctx, 150*time.Millisecond); err == nil {
+		t.Fatal("WaitReady succeeded against a breaching server")
 	}
 }

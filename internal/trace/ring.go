@@ -37,6 +37,26 @@ func (r *Ring) Add(t *Trace) {
 	r.slots[i&r.mask].Store(t)
 }
 
+// Drain returns the retained traces, newest first, and clears the ring —
+// the consume-once form of Snapshot a diagnostics bundle uses so the
+// next bundle carries only traces captured after this one. A writer
+// racing a Drain may slip a trace in behind the sweep; it simply waits
+// for the next drain.
+func (r *Ring) Drain() []*Trace {
+	seq := r.seq.Load()
+	n := uint64(len(r.slots))
+	if seq < n {
+		n = seq
+	}
+	out := make([]*Trace, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if t := r.slots[(seq-1-i)&r.mask].Swap(nil); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // Snapshot returns the retained traces, newest first.
 func (r *Ring) Snapshot() []*Trace {
 	seq := r.seq.Load()

@@ -127,6 +127,17 @@ func (s *Sampler) SlowOps() []*Trace {
 	return s.slowRing.Snapshot()
 }
 
+// DrainSlowOps returns the retained slow-op traces, newest first, and
+// clears the slow ring, so consecutive diagnostics bundles do not repeat
+// the same evidence. The sampled ring is left intact — "recent traces"
+// stays a rolling view.
+func (s *Sampler) DrainSlowOps() []*Trace {
+	if s == nil {
+		return nil
+	}
+	return s.slowRing.Drain()
+}
+
 // SamplerStats is a point-in-time summary of a sampler.
 type SamplerStats struct {
 	// Ops counts operations offered while sampling was on.

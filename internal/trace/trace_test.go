@@ -161,6 +161,65 @@ func TestRingWrapAndOrder(t *testing.T) {
 	}
 }
 
+// TestRingDrain pins the flight recorder's take-don't-copy read: Drain
+// empties the ring (so consecutive diagnostics bundles carry distinct
+// evidence) while Total keeps counting.
+func TestRingDrain(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Drain(); len(got) != 0 {
+		t.Fatalf("empty Drain len %d", len(got))
+	}
+	traces := make([]*Trace, 3)
+	for i := range traces {
+		traces[i] = New("get", string(rune('a'+i)))
+		r.Add(traces[i])
+	}
+	got := r.Drain()
+	if len(got) != 3 {
+		t.Fatalf("Drain len = %d, want 3", len(got))
+	}
+	// Newest first, like Snapshot.
+	for i, want := range []*Trace{traces[2], traces[1], traces[0]} {
+		if got[i] != want {
+			t.Fatalf("Drain[%d] = key %q, want %q", i, got[i].Key, want.Key)
+		}
+	}
+	if left := r.Snapshot(); len(left) != 0 {
+		t.Fatalf("ring still holds %d traces after Drain", len(left))
+	}
+	if r.Total() != 3 {
+		t.Fatalf("Total = %d after Drain, want 3 (counting survives)", r.Total())
+	}
+	// The ring keeps accepting after a drain.
+	r.Add(New("get", "z"))
+	if got := r.Snapshot(); len(got) != 1 || got[0].Key != "z" {
+		t.Fatalf("post-drain Snapshot = %v", got)
+	}
+}
+
+// TestSamplerDrainSlowOps checks the sampler-level drain: slow ops are
+// handed over exactly once, the sampled ring is untouched, and a nil
+// sampler drains to nothing.
+func TestSamplerDrainSlowOps(t *testing.T) {
+	s := NewSampler(1, time.Millisecond)
+	slow := New("get", "slow")
+	slow.Duration = 2 * time.Millisecond
+	s.Record(slow)
+	if got := s.DrainSlowOps(); len(got) != 1 || got[0] != slow {
+		t.Fatalf("DrainSlowOps = %v", got)
+	}
+	if got := s.SlowOps(); len(got) != 0 {
+		t.Fatalf("SlowOps after drain = %v, want empty", got)
+	}
+	if got := s.Sampled(); len(got) != 1 {
+		t.Fatalf("Sampled after drain = %d, want 1 (sampled ring untouched)", len(got))
+	}
+	var nilS *Sampler
+	if got := nilS.DrainSlowOps(); got != nil {
+		t.Fatalf("nil DrainSlowOps = %v", got)
+	}
+}
+
 func TestRingCapacityRounding(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {5, 8}, {256, 256}} {
 		if got := NewRing(tc.in).Cap(); got != tc.want {

@@ -1,6 +1,8 @@
 package simdtree
 
 import (
+	"time"
+
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/shape"
@@ -66,6 +68,24 @@ const (
 	OpContainsBatch = index.OpContainsBatch
 	OpScan          = index.OpScan
 )
+
+// Ops lists every timed operation class of an InstrumentedIndex, in
+// label order — the iteration callers use to read all histograms (or all
+// windowed snapshots via InstrumentedIndex.WindowSnapshot).
+var Ops = index.Ops
+
+// WindowedHistogram is a ring of epoch latency histograms answering
+// recent-window quantiles ("p99 over the last 30 s") next to the
+// lifetime figures; InstrumentedIndex.EnableWindows attaches one per op.
+// See internal/health for the SLO engine that evaluates burn rates over
+// these windows.
+type WindowedHistogram = obs.WindowedHistogram
+
+// NewWindowedHistogram returns a histogram windowed over epochs ticks of
+// the given duration.
+func NewWindowedHistogram(tick time.Duration, epochs int) *WindowedHistogram {
+	return obs.NewWindowedHistogram(tick, epochs)
+}
 
 // WrapInstrumented wraps an existing index with instrumentation;
 // withCounters attaches dedicated cost-model Counters scoped to the
