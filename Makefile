@@ -2,7 +2,8 @@
 #
 #   make check       - vet + build + race-enabled tests + fuzz smoke
 #   make test        - plain test run (tier-1 gate)
-#   make bench       - segbench JSON + tracer-off overhead gate (<2%)
+#   make bench       - segbench JSON + tracer-off and span-off overhead
+#                      gates (<2%)
 #   make bench-diff  - compare BENCH_segbench.json against the committed
 #                      baseline; non-zero exit on ns/op or bytes/key regression
 #   make bench-baseline - re-measure and overwrite BENCH_baseline.json
@@ -19,6 +20,9 @@
 #                      ./... via go vet -vettool, then govulncheck
 #   make staticcheck - staticcheck ./... (skips when the tool is absent)
 #   make govulncheck - govulncheck ./... (skips when the tool is absent)
+#   make trace-e2e   - request-span round-trip smoke (race-built): a
+#                      traced workload through segclient against a live
+#                      handler must show one trace ID at every tier
 #   make trace-demo  - render traced descents with cmd/treedump
 #   make serve       - run the observability HTTP server (cmd/segserve)
 
@@ -54,7 +58,7 @@ LOADTEST_ADDR ?= 127.0.0.1:18080
 # the same number of operations.
 WORKLOAD_SPEC ?= read=70,write=20,scan=5,batch=5;dist=zipfian:0.99;keys=100000;clients=8;ops=200000
 
-.PHONY: check vet fmt build test race stress fuzz loadtest bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-demo serve clean
+.PHONY: check vet fmt build test race stress fuzz loadtest bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-e2e trace-demo serve clean
 
 check: vet fmt build race fuzz analyze
 
@@ -120,7 +124,7 @@ bench:
 	$(GO) run ./cmd/segbench -json BENCH_segbench.json
 	$(GO) run ./cmd/segload -structure segtree -shards 8 -sync versioned \
 		-experiment mixed -spec '$(WORKLOAD_SPEC)' -json-append BENCH_segbench.json
-	$(GO) test -tags overheadgate -run '^TestTracerOffOverheadGate$$' -count=1 -v .
+	$(GO) test -tags overheadgate -run '^Test(TracerOff|SpanOff)OverheadGate$$' -count=1 -v .
 
 # Regression gate on the measurement trajectory. Timings on shared
 # hardware are noisy, so the default thresholds are generous; footprint
@@ -169,6 +173,16 @@ govulncheck:
 	else \
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
+
+# Distributed-tracing round trip under the race detector: segload's
+# driver traces every op, segclient rides the traceparent over the wire,
+# and the segserve handler must surface the SAME trace ID in its log,
+# its span ring (/debug/requests) and its /metrics exemplars.
+trace-e2e:
+	$(GO) test ./cmd/segserve -race -count=1 -v \
+		-run '^(TestTraceE2E|TestRequestSpans|TestLogFormats)$$'
+	$(GO) test ./cmd/segload ./internal/segclient -race -count=1 \
+		-run 'Trace|Traceparent'
 
 # Two traced descents through the shared tracing kernel: breadth-first
 # and depth-first linearised k-ary trees, one hit and one miss each.

@@ -39,6 +39,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
 	"repro/internal/segclient"
 )
 
@@ -64,6 +65,8 @@ type config struct {
 	jsonAppend string
 	experiment string
 	slo        string
+	trace      int
+	traceShow  int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -81,6 +84,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.jsonAppend, "json-append", "", "merge the results into this existing BENCH measurement JSON file")
 	fs.StringVar(&cfg.experiment, "experiment", "mixed", "experiment label on the emitted measurements")
 	fs.StringVar(&cfg.slo, "slo", "", "fail (exit nonzero) when the run violates these objectives, e.g. 'read_p99<2ms,error_rate<0.001'")
+	fs.IntVar(&cfg.trace, "trace", 0, "trace 1 in N measured operations with request spans (0 disables); traced IDs print after the results")
+	fs.IntVar(&cfg.traceShow, "trace-show", 10, "print at most this many traced operations")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -106,7 +111,7 @@ func buildTarget(ctx context.Context, cfg config) (driver.Target[uint64, string]
 				return nil, "", err
 			}
 		}
-		return driver.NewSegserveTarget(ctx, c), "http-segserve", nil
+		return driver.NewSegserveTarget(c), "http-segserve", nil
 	}
 	if cfg.target != "inproc" {
 		return nil, "", fmt.Errorf("unknown -target %q (want inproc or http)", cfg.target)
@@ -138,6 +143,28 @@ func buildTarget(ctx context.Context, cfg config) (driver.Target[uint64, string]
 }
 
 func value(k uint64) string { return strconv.FormatUint(k, 10) }
+
+// printTraces reports the traced operations of a -trace run, newest
+// first: the trace ID printed here is the same ID segserve logged and
+// /debug/requests?trace=<id> looks up, so one grep follows an operation
+// through every tier.
+func printTraces(out *os.File, tracer *reqtrace.Tracer, show int) {
+	if tracer == nil {
+		return
+	}
+	spans := tracer.Spans()
+	st := tracer.Stats()
+	fmt.Fprintf(out, "traced %d of %d ops (1 in %d), %d retained\n",
+		st.Started, st.Ops, st.Rate, len(spans))
+	for i, sp := range spans {
+		if i >= show {
+			fmt.Fprintf(out, "  ... %d more\n", len(spans)-show)
+			break
+		}
+		fmt.Fprintf(out, "  trace_id=%s span_id=%s op=%s dur=%v\n",
+			sp.TraceID, sp.SpanID, sp.Name, sp.Duration.Round(time.Microsecond))
+	}
+}
 
 // checkSLO evaluates the run's results against parsed objectives — the
 // same grammar and ceilings segserve's continuous engine evaluates, but
@@ -181,16 +208,23 @@ func run(args []string, out *os.File) error {
 	}
 	if cfg.load {
 		start := time.Now()
-		if err := driver.Load(tgt, spec.Keys, spec.Clients, value); err != nil {
+		if err := driver.Load(ctx, tgt, spec.Keys, spec.Clients, value); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "loaded %d keys in %v\n", spec.Keys, time.Since(start).Round(time.Millisecond))
 	}
-	res, err := driver.Run(ctx, tgt, spec, value)
+	var tracer *reqtrace.Tracer
+	var runOpts []driver.RunOption
+	if cfg.trace > 0 {
+		tracer = reqtrace.NewTracer(cfg.trace, 0)
+		runOpts = append(runOpts, driver.WithTracer(tracer))
+	}
+	res, err := driver.Run(ctx, tgt, spec, value, runOpts...)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, res)
+	printTraces(out, tracer, cfg.traceShow)
 
 	if cfg.json != "" || cfg.jsonAppend != "" {
 		ms := res.Measurements(cfg.experiment, structure)

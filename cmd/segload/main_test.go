@@ -245,6 +245,68 @@ func TestRunSLOGate(t *testing.T) {
 	}
 }
 
+// TestRunPrintsTraces drives the -trace satellite: tracing every op must
+// print the trace_id lines an operator pastes into segserve's
+// /debug/requests?trace= lookup, capped at -trace-show with an overflow
+// marker, and a traceless run must print none of it.
+func TestRunPrintsTraces(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "out.txt")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	args := []string{
+		"-target", "inproc", "-structure", "segtree",
+		"-spec", "read=100,write=0;keys=100;clients=1;ops=40",
+		"-trace", "1", "-trace-show", "5",
+	}
+	if err := run(args, out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	body, _ := os.ReadFile(outPath)
+	s := string(body)
+	if !strings.Contains(s, "traced 40 of 40 ops (1 in 1)") {
+		t.Errorf("output missing the trace summary line:\n%s", s)
+	}
+	if got := strings.Count(s, "trace_id="); got != 5 {
+		t.Errorf("printed %d trace_id lines, want 5 (-trace-show):\n%s", got, s)
+	}
+	if !strings.Contains(s, "... 35 more") {
+		t.Errorf("output missing the overflow marker:\n%s", s)
+	}
+	// Each printed line carries the full lookup key: 32-hex trace, 16-hex
+	// span, the op name and a duration.
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.Contains(line, "trace_id=") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 ||
+			len(strings.TrimPrefix(fields[0], "trace_id=")) != 32 ||
+			len(strings.TrimPrefix(fields[1], "span_id=")) != 16 ||
+			fields[2] != "op=read" {
+			t.Errorf("malformed trace line %q", line)
+		}
+	}
+
+	// Without -trace the section must not appear at all.
+	plainPath := filepath.Join(t.TempDir(), "plain.txt")
+	plain, err := os.Create(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if err := run(args[:6], plain); err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+	body, _ = os.ReadFile(plainPath)
+	if strings.Contains(string(body), "trace") {
+		t.Errorf("untraced run printed trace output:\n%s", body)
+	}
+}
+
 func TestBuildTargetLabels(t *testing.T) {
 	cfg := config{target: "inproc", structure: "opt-segtrie", shards: 8, sync: "versioned"}
 	_, label, err := buildTarget(context.Background(), cfg)

@@ -8,6 +8,15 @@
 // recent-window metrics and a flight recorder that freezes a diagnostics
 // bundle on each transition into breach.
 //
+// Every request also runs under a request span (internal/reqtrace): a
+// valid sampled W3C traceparent header continues the caller's trace, and
+// headerless requests are self-sampled 1 in -span-rate. Sampled spans
+// carry the trace_id/span_id stamped into the request log line, feed
+// OpenMetrics exemplars on the request-latency histogram, and are
+// retained for /debug/requests — so one trace ID follows an operation
+// from a segload client through this server's logs, metrics and debug
+// endpoints.
+//
 //	segserve -structure opt-segtrie -shards 16 -preload 100000 \
 //	    -slo 'get_p99<2ms,error_rate<0.001' -ready-slo -flight-dir /tmp/flight
 //
@@ -23,6 +32,7 @@
 //	curl 'localhost:8080/debug/explain?key=42'          # one traced descent
 //	curl 'localhost:8080/debug/explain?key=42&format=json'
 //	curl 'localhost:8080/debug/traces'     # recent sampled traces (JSON)
+//	curl 'localhost:8080/debug/requests'   # recent request spans; ?trace=<32 hex> looks one trace up
 //	curl 'localhost:8080/debug/slowops'    # sampled traces over the threshold
 //	curl 'localhost:8080/debug/tracerate'  # sampler stats; set with ?every=&slow=
 //	curl 'localhost:8080/healthz'          # liveness (never SLO-aware)
@@ -59,11 +69,14 @@ import (
 	simdtree "repro"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
+	"repro/internal/trace"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	traceRate := flag.Int("trace-rate", 1024, "trace 1 in this many gets (0 disables sampling)")
 	slowThreshold := flag.Duration("slow-threshold", time.Millisecond,
 		"sampled gets at least this slow enter the slow-op log (0 disables)")
@@ -74,6 +87,8 @@ func main() {
 		"index structure: segtree, segtrie, opt-segtrie, btree")
 	flag.IntVar(&cfg.shards, "shards", 16, "key-range shards (>= 2; 1 disables sharding)")
 	flag.IntVar(&cfg.preload, "preload", 0, "preload this many consecutive keys before serving")
+	flag.IntVar(&cfg.spanRate, "span-rate", 1024,
+		"self-sample 1 in this many headerless requests as request spans (0 disables; sampled traceparents are always continued)")
 	flag.StringVar(&cfg.slo, "slo", "",
 		"SLO objectives to evaluate continuously, e.g. 'get_p99<2ms,error_rate<0.001' (empty disables the engine)")
 	flag.BoolVar(&cfg.readySLO, "ready-slo", false,
@@ -88,7 +103,7 @@ func main() {
 		"slow burn-rate window")
 	flag.Parse()
 
-	logger, err := newLogger(*logLevel)
+	logger, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "segserve: %v\n", err)
 		os.Exit(1)
@@ -105,7 +120,7 @@ func main() {
 	logger.Info("serving",
 		"structure", cfg.structure, "shards", cfg.shards, "addr", *addr,
 		"preloaded", cfg.preload, "trace_rate", *traceRate, "slow_threshold", *slowThreshold,
-		"slo", cfg.slo, "window_tick", cfg.tick)
+		"span_rate", cfg.spanRate, "slo", cfg.slo, "window_tick", cfg.tick)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go s.runTicker(ctx)
@@ -148,13 +163,23 @@ func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain tim
 	return nil
 }
 
-// newLogger builds a text slog.Logger at the named level.
-func newLogger(level string) (*slog.Logger, error) {
+// newLogger builds a slog.Logger at the named level in the named format:
+// "text" (logfmt-style key=value) for humans tailing the process, "json"
+// for log pipelines that index fields like trace_id.
+func newLogger(level, format string) (*slog.Logger, error) {
 	var lv slog.Level
 	if err := lv.UnmarshalText([]byte(level)); err != nil {
 		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
 	}
-	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }
 
 // defaultWindowTick is the epoch length of the windowed metrics: coarse
@@ -168,6 +193,10 @@ type serverConfig struct {
 	structure string
 	shards    int
 	preload   int
+	// spanRate self-samples 1 in this many headerless requests as request
+	// spans (0 disables); requests carrying a valid sampled traceparent
+	// are always continued regardless.
+	spanRate int
 	// slo enables the health engine ("" disables); readySLO ties /readyz
 	// to it; flightDir spills diagnostics bundles to disk.
 	slo       string
@@ -189,6 +218,10 @@ type server struct {
 	// epoch — the denominators and numerators of error_rate objectives.
 	reqTotal *obs.WindowedCounter
 	reqErrs  *obs.WindowedCounter
+	// tracer owns the request spans; reqLat is the whole-request latency
+	// window whose buckets carry the sampled spans as exemplars.
+	tracer *reqtrace.Tracer
+	reqLat *obs.WindowedHistogram
 	// engine and flight are nil unless cfg.slo is set.
 	engine *health.Engine
 	flight *health.Recorder
@@ -238,6 +271,8 @@ func newServer(cfg serverConfig) (*server, error) {
 		cfg:      cfg,
 		reqTotal: obs.NewWindowedCounter(cfg.tick, epochs),
 		reqErrs:  obs.NewWindowedCounter(cfg.tick, epochs),
+		tracer:   reqtrace.NewTracer(cfg.spanRate, 0),
+		reqLat:   obs.NewWindowedHistogram(cfg.tick, epochs),
 	}
 	if cfg.slo != "" {
 		objectives, err := health.ParseObjectives(cfg.slo)
@@ -284,6 +319,7 @@ func (s *server) tick(now time.Time) {
 	s.ix.RotateWindows()
 	s.reqTotal.Rotate()
 	s.reqErrs.Rotate()
+	s.reqLat.Rotate()
 	if s.engine != nil {
 		s.engine.Evaluate(now)
 	}
@@ -316,6 +352,7 @@ func (s *server) captureBundle(st health.Status) {
 		Windows:          make(map[string]health.WindowQuantiles),
 		SlowOps:          s.ix.Sampler().DrainSlowOps(),
 		Sampled:          s.ix.Sampler().Sampled(),
+		Spans:            s.tracer.Drain(),
 		GoroutineProfile: health.GoroutineProfile(),
 	}
 	for _, op := range simdtree.Ops {
@@ -356,6 +393,7 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("/debug/shape", s.handleShape)
 	mux.HandleFunc("/debug/explain", s.handleExplain)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/requests", s.handleRequests)
 	mux.HandleFunc("/debug/slowops", s.handleSlowOps)
 	mux.HandleFunc("/debug/tracerate", s.handleTraceRate)
 	mux.HandleFunc("/debug/slo", s.handleSLO)
@@ -385,19 +423,47 @@ func (s *server) counting(next http.Handler) http.Handler {
 	})
 }
 
-// handler wraps the mux with structured request logging.
+// handler wraps the mux with request spans and structured request
+// logging. A valid sampled traceparent header continues the caller's
+// trace as a remote child span; a headerless (or unsampled, or
+// malformed) request is self-sampled 1 in cfg.spanRate. Unsampled
+// requests carry a nil span through the whole stack and pay one atomic
+// load here; sampled ones additionally stamp trace_id/span_id into the
+// log line and become the request-latency histogram's exemplars.
 func (s *server) handler(logger *slog.Logger) http.Handler {
 	mux := s.mux()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		mux.ServeHTTP(sw, r)
-		logger.Info("request",
+		var sp *reqtrace.Span
+		if sc, err := reqtrace.ParseTraceparent(r.Header.Get(reqtrace.TraceparentHeader)); err == nil {
+			sp = s.tracer.StartRemote(r.URL.Path, sc)
+		} else {
+			sp = s.tracer.StartRoot(r.URL.Path)
+		}
+		req := r
+		if sp != nil {
+			sp.SetAttr("method", r.Method)
+			req = r.WithContext(reqtrace.NewContext(r.Context(), sp))
+		}
+		mux.ServeHTTP(sw, req)
+		d := time.Since(start)
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
-			"duration", time.Since(start),
-			"keys", requestKeyCount(r))
+			"duration", d,
+			"keys", requestKeyCount(r),
+		}
+		if sp != nil {
+			sp.SetAttr("status", strconv.Itoa(sw.status))
+			s.tracer.Finish(sp)
+			s.reqLat.ObserveExemplar(d, sp.TraceID.Hi, sp.TraceID.Lo)
+			attrs = append(attrs, "trace_id", sp.TraceID.String(), "span_id", sp.SpanID.String())
+		} else {
+			s.reqLat.Observe(d)
+		}
+		logger.Info("request", attrs...)
 	})
 }
 
@@ -439,7 +505,20 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	v, found := s.ix.Get(k)
+	var v string
+	var found bool
+	if sp := reqtrace.FromContext(r.Context()); sp != nil {
+		// A sampled request gets the Explain treatment for free: the
+		// lookup runs traced and the descent rides on the request span, so
+		// /debug/requests shows not just that this request was slow but
+		// which nodes and SIMD compares its lookup paid.
+		tr := trace.New("get", strconv.FormatUint(k, 10))
+		v, found = s.ix.GetTraced(k, tr)
+		tr.Finish(found)
+		sp.AttachDescent(tr)
+	} else {
+		v, found = s.ix.Get(k)
+	}
 	if !found {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
@@ -548,6 +627,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "window_seconds %g\n", s.cfg.fastWindow.Seconds())
 	fmt.Fprintf(w, "window_requests %d\nwindow_errors %d\n",
 		s.reqTotal.ReadWindow(s.cfg.fastWindow), s.reqErrs.ReadWindow(s.cfg.fastWindow))
+	if h := s.reqLat.ReadWindow(s.cfg.fastWindow); h.Count > 0 {
+		fmt.Fprintf(w, "window_request_p50_ns %g\nwindow_request_p99_ns %g\nwindow_request_p999_ns %g\n",
+			h.QuantileNanos(0.50), h.QuantileNanos(0.99), h.QuantileNanos(0.999))
+	}
+	ts := s.tracer.Stats()
+	fmt.Fprintf(w, "spans_started %d\nspans_finished %d\n", ts.Started, ts.Finished)
+	// Exemplar breadcrumbs under a leading '#': human-readable next to the
+	// numbers, shaped so segclient.Stats' "name number" parser skips them.
+	for i, ex := range s.reqLat.Exemplars() {
+		if ex != nil {
+			fmt.Fprintf(w, "# exemplar bucket=%d trace_id=%s value_ns=%d\n", i, ex.TraceIDString(), ex.NS)
+		}
+	}
 	for _, op := range simdtree.Ops {
 		h, ok := s.ix.WindowSnapshot(op, s.cfg.fastWindow)
 		if !ok || h.Count == 0 {
@@ -571,6 +663,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.ix.Sampler().Stats()
 	fmt.Fprintf(w, "# TYPE segserve_trace_sampled_total counter\nsegserve_trace_sampled_total %d\n", st.Sampled)
 	fmt.Fprintf(w, "# TYPE segserve_trace_slow_total counter\nsegserve_trace_slow_total %d\n", st.Slow)
+	// The whole-request latency window with per-bucket exemplars: a bucket
+	// whose latency worries a dashboard reader names the trace_id of the
+	// last sampled request that paid it, the /debug/requests?trace= key.
+	s.reqLat.ReadWindow(s.cfg.fastWindow).HistogramPromExemplars(w,
+		"segserve_request_duration_window_seconds", "",
+		"request latency over the fast window, with trace exemplars",
+		s.reqLat.Exemplars())
+	ts := s.tracer.Stats()
+	fmt.Fprintf(w, "# TYPE segserve_span_requests_total counter\nsegserve_span_requests_total %d\n", ts.Ops)
+	fmt.Fprintf(w, "# TYPE segserve_spans_started_total counter\nsegserve_spans_started_total %d\n", ts.Started)
+	fmt.Fprintf(w, "# TYPE segserve_spans_finished_total counter\nsegserve_spans_finished_total %d\n", ts.Finished)
 	if s.engine != nil {
 		s.engine.WriteProm(w, "segserve_health")
 	}
@@ -686,6 +789,33 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.ix.Sampler().Sampled())
+}
+
+// handleRequests serves the recent request spans (newest first) with the
+// tracer's counters — the server-side half of distributed tracing.
+// ?trace=<32 hex> narrows to the spans of one trace, the lookup a client
+// holding a printed trace_id (segload -trace, a log line, a metrics
+// exemplar) performs.
+func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	spans := s.tracer.Spans()
+	if ts := r.URL.Query().Get("trace"); ts != "" {
+		id, err := reqtrace.ParseTraceID(ts)
+		if err != nil {
+			http.Error(w, "bad trace parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		matched := spans[:0]
+		for _, sp := range spans {
+			if sp.TraceID == id {
+				matched = append(matched, sp)
+			}
+		}
+		spans = matched
+	}
+	writeJSON(w, struct {
+		Stats reqtrace.TracerStats `json:"stats"`
+		Spans []*reqtrace.Span     `json:"spans"`
+	}{s.tracer.Stats(), spans})
 }
 
 func (s *server) handleSlowOps(w http.ResponseWriter, r *http.Request) {

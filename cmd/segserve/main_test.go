@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -11,11 +12,13 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	simdtree "repro"
 	"repro/internal/driver"
+	"repro/internal/reqtrace"
 	"repro/internal/segclient"
 )
 
@@ -525,7 +528,7 @@ func TestDriverOverHTTP(t *testing.T) {
 	if err := c.WaitReady(ctx, 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	tgt := driver.NewSegserveTarget(ctx, c)
+	tgt := driver.NewSegserveTarget(c)
 	spec, err := driver.ParseSpec("read=40,write=40,scan=10,batch=10;keys=100;clients=4;ops=1200;batchsize=4;scanlen=5")
 	if err != nil {
 		t.Fatal(err)
@@ -553,13 +556,286 @@ func TestDriverOverHTTP(t *testing.T) {
 	}
 }
 
+// syncBuffer is a mutex-guarded bytes.Buffer: the server logs from
+// concurrent request goroutines, so a bare buffer would race.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTraceE2E proves the tentpole end to end: a traced driver run over
+// segclient propagates each op's trace ID on the wire, and that SAME ID
+// is observable at every server tier — the request log line, the span
+// ring behind /debug/requests (as a remote child of the client's root
+// span, descent attached), and the /metrics exemplars.
+func TestTraceE2E(t *testing.T) {
+	// span-rate 0: the only server spans are continuations of client
+	// traceparents, so every assertion below is about propagation.
+	s, err := newServer(serverConfig{structure: "opt-segtrie", shards: 4, preload: 512, spanRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf syncBuffer
+	ts := httptest.NewServer(s.handler(slog.New(slog.NewJSONHandler(&logBuf, nil))))
+	defer ts.Close()
+
+	tgt := driver.NewSegserveTarget(segclient.New(ts.URL))
+	tracer := reqtrace.NewTracer(1, 256) // trace every measured op
+	spec, err := driver.ParseSpec("read=100,write=0;keys=512;clients=2;ops=32;warmup=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := driver.Run(context.Background(), tgt, spec, func(k uint64) string {
+		return strconv.FormatUint(k, 10)
+	}, driver.WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("traced run had %d errors", res.Errors)
+	}
+
+	clientSpans := tracer.Spans()
+	if len(clientSpans) == 0 {
+		t.Fatal("client tracer recorded no spans")
+	}
+	sp := clientSpans[0]
+	id := sp.TraceID.String()
+
+	// Tier 1 → 2: the server's request log carries the client's trace ID.
+	if !strings.Contains(logBuf.String(), id) {
+		t.Errorf("server log does not mention client trace %s", id)
+	}
+
+	// Tier 3: /debug/requests?trace= finds the server-side span as a
+	// remote child of the client's root span, with the descent attached.
+	code, body := get(t, ts.URL+"/debug/requests?trace="+id)
+	if code != 200 {
+		t.Fatalf("/debug/requests?trace=%s = %d", id, code)
+	}
+	var out struct {
+		Spans []struct {
+			TraceID string          `json:"trace_id"`
+			Parent  string          `json:"parent_span_id"`
+			Remote  bool            `json:"remote"`
+			Name    string          `json:"name"`
+			Descent json.RawMessage `json:"descent"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/debug/requests JSON: %v", err)
+	}
+	if len(out.Spans) != 1 {
+		t.Fatalf("server retained %d spans for trace %s, want 1:\n%s", len(out.Spans), id, body)
+	}
+	srv := out.Spans[0]
+	if srv.TraceID != id {
+		t.Errorf("server span trace = %s, want %s", srv.TraceID, id)
+	}
+	if !srv.Remote || srv.Parent != sp.SpanID.String() {
+		t.Errorf("server span remote=%v parent=%s, want remote child of client span %s",
+			srv.Remote, srv.Parent, sp.SpanID)
+	}
+	if srv.Name != "/get" {
+		t.Errorf("server span name = %q, want /get", srv.Name)
+	}
+	if len(srv.Descent) == 0 || string(srv.Descent) == "null" {
+		t.Error("server span carries no descent evidence")
+	}
+
+	// Tier 4: with every op sampled, the request-latency buckets carry
+	// exemplars, and each names one of the client's trace IDs.
+	_, metrics := get(t, ts.URL+"/metrics")
+	i := strings.Index(metrics, `# {trace_id="`)
+	if i < 0 {
+		t.Fatalf("/metrics has no exemplars:\n%s", metrics)
+	}
+	exID := metrics[i+len(`# {trace_id="`):][:32]
+	known := false
+	for _, csp := range clientSpans {
+		if csp.TraceID.String() == exID {
+			known = true
+			break
+		}
+	}
+	if !known {
+		t.Errorf("exemplar trace %s is not one of the %d client trace IDs", exID, len(clientSpans))
+	}
+}
+
+// TestRequestSpans exercises the middleware's three span decisions —
+// headerless + rate 0 means no span, a valid sampled traceparent is
+// always continued as a remote child, an unsampled one is not — and the
+// /debug/requests lookup over the results.
+func TestRequestSpans(t *testing.T) {
+	s, err := newServer(serverConfig{structure: "segtree", shards: 1, preload: 8, spanRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	defer ts.Close()
+
+	// Headerless request, self-sampling disabled: no span.
+	if _, body := get(t, ts.URL+"/get?key=1"); strings.TrimSpace(body) != "1" {
+		t.Fatalf("/get = %q", body)
+	}
+	if n := len(s.tracer.Spans()); n != 0 {
+		t.Fatalf("headerless request at span-rate 0 produced %d spans", n)
+	}
+
+	// A valid sampled traceparent is continued regardless of the rate.
+	const traceID = "0123456789abcdef0123456789abcdef"
+	doGet := func(header string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/get?key=2", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if header != "" {
+			req.Header.Set("traceparent", header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	doGet("00-" + traceID + "-00f067aa0ba902b7-01")
+	spans := s.tracer.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("sampled traceparent produced %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.TraceID.String() != traceID {
+		t.Errorf("continued span trace = %s, want %s", sp.TraceID, traceID)
+	}
+	if !sp.Remote || sp.Parent.String() != "00f067aa0ba902b7" {
+		t.Errorf("continued span remote=%v parent=%s, want remote child of 00f067aa0ba902b7", sp.Remote, sp.Parent)
+	}
+	if sp.Descent == nil {
+		t.Error("sampled /get did not attach its descent to the span")
+	}
+	if sp.Duration <= 0 {
+		t.Errorf("span duration = %v, want > 0", sp.Duration)
+	}
+
+	// An unsampled (flags 00) traceparent is passed over.
+	doGet("00-" + traceID + "-00f067aa0ba902b7-00")
+	if n := len(s.tracer.Spans()); n != 1 {
+		t.Fatalf("unsampled traceparent changed span count to %d", n)
+	}
+
+	// /debug/requests: full listing, by-trace lookup, miss, bad ID.
+	code, body := get(t, ts.URL+"/debug/requests?trace="+traceID)
+	if code != 200 {
+		t.Fatalf("/debug/requests?trace= = %d:\n%s", code, body)
+	}
+	var out struct {
+		Stats struct {
+			Started uint64 `json:"started"`
+		} `json:"stats"`
+		Spans []struct {
+			TraceID string `json:"trace_id"`
+			Name    string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/debug/requests JSON: %v", err)
+	}
+	if out.Stats.Started != 1 || len(out.Spans) != 1 {
+		t.Fatalf("/debug/requests = started %d, %d spans, want 1/1:\n%s", out.Stats.Started, len(out.Spans), body)
+	}
+	if out.Spans[0].TraceID != traceID || out.Spans[0].Name != "/get" {
+		t.Errorf("/debug/requests span = %+v", out.Spans[0])
+	}
+	if _, body := get(t, ts.URL+"/debug/requests?trace="+strings.Repeat("9", 32)); !strings.Contains(body, `"spans": []`) && !strings.Contains(body, `"spans":[]`) && !strings.Contains(body, `"spans": null`) {
+		t.Errorf("/debug/requests miss returned spans:\n%s", body)
+	}
+	if code, _ := get(t, ts.URL+"/debug/requests?trace=zzz"); code != 400 {
+		t.Errorf("/debug/requests bad trace = %d, want 400", code)
+	}
+
+	// The sampled request left its exemplar on /metrics and /stats.
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(body, `# {trace_id="`+traceID+`"}`) {
+		t.Errorf("/metrics missing the exemplar for %s:\n%s", traceID, body)
+	}
+	if _, body := get(t, ts.URL+"/stats"); !strings.Contains(body, "# exemplar bucket=") ||
+		!strings.Contains(body, "trace_id="+traceID) {
+		t.Errorf("/stats missing the exemplar breadcrumb for %s", traceID)
+	}
+}
+
 func TestNewLoggerLevels(t *testing.T) {
 	for _, lv := range []string{"debug", "info", "WARN", "error"} {
-		if _, err := newLogger(lv); err != nil {
+		if _, err := newLogger(lv, "text"); err != nil {
 			t.Errorf("newLogger(%q) = %v", lv, err)
 		}
 	}
-	if _, err := newLogger("loud"); err == nil {
+	if _, err := newLogger("loud", "text"); err == nil {
 		t.Error("newLogger accepted a bogus level")
+	}
+	if _, err := newLogger("info", "xml"); err == nil {
+		t.Error("newLogger accepted a bogus format")
+	}
+}
+
+// TestLogFormats proves both -log-format handlers emit the request
+// fields — text as key=value pairs, json as a parseable object — since
+// the trace_id stamped on sampled requests is only greppable if the
+// format actually carries attributes through.
+func TestLogFormats(t *testing.T) {
+	s, err := newServer(serverConfig{structure: "segtree", shards: 1, preload: 4, spanRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"text", "json"} {
+		var lv slog.Level
+		var buf bytes.Buffer
+		var h slog.Handler
+		if format == "json" {
+			h = slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: lv})
+		} else {
+			h = slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: lv})
+		}
+		ts := httptest.NewServer(s.handler(slog.New(h)))
+		resp, err := http.Get(ts.URL + "/get?key=1")
+		if err != nil {
+			t.Fatalf("[%s] get: %v", format, err)
+		}
+		resp.Body.Close()
+		ts.Close()
+		line := buf.String()
+		switch format {
+		case "text":
+			for _, want := range []string{"msg=request", "path=/get", "status=200", "trace_id="} {
+				if !strings.Contains(line, want) {
+					t.Errorf("text log line missing %q:\n%s", want, line)
+				}
+			}
+		case "json":
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(strings.TrimSpace(line)), &rec); err != nil {
+				t.Fatalf("json log line does not parse: %v\n%s", err, line)
+			}
+			if rec["msg"] != "request" || rec["path"] != "/get" {
+				t.Errorf("json log record = %v, want msg=request path=/get", rec)
+			}
+			id, _ := rec["trace_id"].(string)
+			if len(id) != 32 {
+				t.Errorf("json log trace_id = %q, want 32 hex chars", id)
+			}
+		}
 	}
 }

@@ -1,11 +1,14 @@
 package simdtree_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
 	simdtree "repro"
+	"repro/internal/driver"
+	"repro/internal/reqtrace"
 )
 
 // TestGetIsAllocationFree is the dynamic counterpart of the hotalloc
@@ -122,6 +125,38 @@ func TestGetIsAllocationFree(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSpanOffDriverGetIsAllocationFree is the request-span twin of the
+// gates above: the driver's per-op span plumbing — a rate-0 StartRoot,
+// the context lookup inside IndexTarget.Get, and Finish on the nil span
+// — must add zero heap allocations to an untraced operation. This is the
+// dynamic proof behind the <2% span-off overhead gate.
+func TestSpanOffDriverGetIsAllocationFree(t *testing.T) {
+	const n = 4096
+	ix := simdtree.NewIndex[uint64, string](simdtree.WithStructure(simdtree.StructureOptimizedSegTrie))
+	for i := uint64(0); i < n; i++ {
+		ix.Put(i*3, "v")
+	}
+	tgt := driver.NewIndexTarget(ix)
+	tracer := reqtrace.NewTracer(0, 0) // spans off
+	ctx := context.Background()
+	hit, miss := uint64(n/2)*3, uint64(n/2)*3+1
+	if _, ok, _ := tgt.Get(ctx, hit); !ok {
+		t.Fatalf("Get(%d): expected hit", hit)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tracer.StartRoot("read")
+		tgt.Get(ctx, hit)
+		tgt.Get(ctx, miss)
+		tracer.Finish(sp)
+	})
+	if allocs != 0 {
+		t.Errorf("span-off driver Get allocates %.1f times per hit+miss pair; the untraced path must be allocation-free", allocs)
+	}
+	if st := tracer.Stats(); st.Started != 0 {
+		t.Fatalf("rate-0 tracer started %d spans", st.Started)
 	}
 }
 

@@ -5,24 +5,45 @@ import (
 	"go/types"
 )
 
-// IsTracePointer reports whether t is a *trace.Trace: a pointer to a
-// named type Trace declared in a package named "trace". Matching by
-// package name rather than import path keeps the analyzers fixture-
-// friendly (analysistest trees declare their own trace package).
+// IsTracePointer reports whether t is one of the nil-safe recording
+// pointers the tracing discipline applies to: *trace.Trace (the
+// descent-level trace) or *reqtrace.Span (the request-level span). Both
+// follow the same contract — unsampled paths hold nil and every
+// recording method is a no-op on nil — so both get the same guard and
+// hot-path allocation treatment. Matching by package name rather than
+// import path keeps the analyzers fixture-friendly (analysistest trees
+// declare their own trace/reqtrace packages).
 func IsTracePointer(t types.Type) bool {
+	return TracePointerName(t) != ""
+}
+
+// TracePointerName returns the display form of a recognized tracing
+// pointer type ("*trace.Trace" or "*reqtrace.Span"), or "" for any other
+// type — the name diagnostics print.
+func TracePointerName(t types.Type) string {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
-		return false
+		return ""
 	}
 	named, ok := ptr.Elem().(*types.Named)
 	if !ok {
-		return false
+		return ""
 	}
 	obj := named.Obj()
-	return obj.Name() == "Trace" && obj.Pkg() != nil && obj.Pkg().Name() == "trace"
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Name() == "Trace" && obj.Pkg().Name() == "trace":
+		return "*trace.Trace"
+	case obj.Name() == "Span" && obj.Pkg().Name() == "reqtrace":
+		return "*reqtrace.Span"
+	}
+	return ""
 }
 
-// TraceParams returns the objects of fn's parameters typed *trace.Trace.
+// TraceParams returns the objects of fn's parameters typed *trace.Trace
+// or *reqtrace.Span.
 func TraceParams(info *types.Info, fn *ast.FuncDecl) []types.Object {
 	var out []types.Object
 	if fn.Type.Params == nil {

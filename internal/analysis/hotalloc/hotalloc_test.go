@@ -9,6 +9,7 @@ import (
 
 func TestHotalloc(t *testing.T) {
 	// Package a covers the allocation checks; package b is the negative
-	// fixture for the //simdtree:kernels annotation-presence gate.
-	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a", "b")
+	// fixture for the //simdtree:kernels annotation-presence gate; package
+	// spans covers the guard-block exemption for *reqtrace.Span.
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a", "b", "spans")
 }

@@ -1,0 +1,29 @@
+// Package spans exercises the hotalloc guard-block exemption over
+// *reqtrace.Span parameters: allocations inside a recognized `sp != nil`
+// guard are the sampled path and allowed; outside they are flagged.
+package spans
+
+import "reqtrace"
+
+//simdtree:hotpath
+func hotSpanGuarded(sp *reqtrace.Span, keys []int, v int) int {
+	pos := 0
+	for _, k := range keys {
+		if k <= v {
+			pos++
+		}
+	}
+	if sp != nil {
+		sp.SetAttr("key", string(rune(v)))
+	}
+	return pos
+}
+
+//simdtree:hotpath
+func hotSpanUnguarded(sp *reqtrace.Span, keys []int, v int) []int {
+	if sp == nil {
+		return keys
+	}
+	sp.Event("grow")
+	return append(keys, v) // want `append`
+}

@@ -1,0 +1,25 @@
+// Package reqtrace is a fixture stand-in for the real reqtrace package:
+// the analyzers match *reqtrace.Span by package name, so fixtures can
+// carry their own copy.
+package reqtrace
+
+// Span records request-scoped annotations.
+type Span struct {
+	attrs []string
+}
+
+// SetAttr appends one key/value annotation.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, key+"="+value)
+}
+
+// Event appends one timed annotation.
+func (sp *Span) Event(name string) {
+	if sp == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, name)
+}

@@ -1,0 +1,36 @@
+// Package spans exercises the traceguard analyzer over *reqtrace.Span
+// parameters: the same guard idioms as *trace.Trace, same diagnostics
+// with the span type named.
+package spans
+
+import "reqtrace"
+
+func unguarded(sp *reqtrace.Span) {
+	sp.Event("lookup") // want `unguarded call sp.Event`
+}
+
+func guardBlock(sp *reqtrace.Span, key string) {
+	if sp != nil {
+		sp.SetAttr("key", key)
+	}
+}
+
+func earlyReturn(sp *reqtrace.Span, key string) int {
+	if sp == nil {
+		return 0
+	}
+	sp.SetAttr("key", key)
+	return len(key)
+}
+
+func afterGuardBlock(sp *reqtrace.Span, key string) {
+	if sp != nil {
+		sp.SetAttr("key", key)
+	}
+	sp.Event("late") // want `unguarded call sp.Event`
+}
+
+// passThrough hands sp to a callee unguarded — fine, the callee guards.
+func passThrough(sp *reqtrace.Span, key string) {
+	guardBlock(sp, key)
+}

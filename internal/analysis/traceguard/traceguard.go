@@ -1,19 +1,19 @@
 // Package traceguard enforces the tracing discipline of the search
-// kernels: a function that takes a *trace.Trace parameter must establish
-// that the trace is non-nil before invoking a recording method on it.
-// Two guard idioms are recognized, matching the two styles the kernels
-// use:
+// kernels: a function that takes a *trace.Trace or *reqtrace.Span
+// parameter must establish that the pointer is non-nil before invoking a
+// recording method on it. Two guard idioms are recognized, matching the
+// two styles the kernels use:
 //
 //	if tr == nil { return t.Get(key) }   // early return; tr non-nil after
 //	if tr != nil { tr.Descend(...) }     // guard block around the record
 //
-// The trace recorders are themselves nil-safe, so an unguarded call is
-// not a crash — it is a performance bug: the call and its argument
-// evaluation (often a composite literal or string formatting) run on the
-// untraced hot path too. traceguard makes the guard a checked invariant
-// instead of a convention.
+// The trace and span recorders are themselves nil-safe, so an unguarded
+// call is not a crash — it is a performance bug: the call and its
+// argument evaluation (often a composite literal or string formatting)
+// run on the untraced hot path too. traceguard makes the guard a checked
+// invariant instead of a convention.
 //
-// The trace package itself and test files are exempt.
+// The trace and reqtrace packages themselves and test files are exempt.
 package traceguard
 
 import (
@@ -26,12 +26,14 @@ import (
 // Analyzer reports unguarded recording calls on *trace.Trace parameters.
 var Analyzer = &analysis.Analyzer{
 	Name: "traceguard",
-	Doc:  "check that *trace.Trace parameters are nil-guarded before recording calls",
+	Doc:  "check that *trace.Trace and *reqtrace.Span parameters are nil-guarded before recording calls",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
-	if pass.Pkg.Name() == "trace" {
+	// The tracing packages record on their own types; the discipline
+	// applies to their callers.
+	if pass.Pkg.Name() == "trace" || pass.Pkg.Name() == "reqtrace" {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -209,6 +211,6 @@ func (c *checker) exprShallow(e ast.Expr, guarded guardSet) {
 		return
 	}
 	c.pass.Reportf(call.Pos(),
-		"unguarded call %s.%s on *trace.Trace parameter; wrap in `if %s != nil { ... }` or return early when nil",
-		id.Name, sel.Sel.Name, id.Name)
+		"unguarded call %s.%s on %s parameter; wrap in `if %s != nil { ... }` or return early when nil",
+		id.Name, sel.Sel.Name, analysis.TracePointerName(obj.Type()), id.Name)
 }

@@ -8,5 +8,7 @@ import (
 )
 
 func TestTraceguard(t *testing.T) {
-	analysistest.Run(t, "testdata", traceguard.Analyzer, "a")
+	// Package a covers *trace.Trace parameters; package spans covers the
+	// same idioms over *reqtrace.Span.
+	analysistest.Run(t, "testdata", traceguard.Analyzer, "a", "spans")
 }

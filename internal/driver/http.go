@@ -9,17 +9,17 @@ import (
 
 // SegserveTarget drives a live segserve over HTTP through the segclient
 // package — the remote counterpart of IndexTarget, with uint64 keys and
-// string values as the server defines them. The shared context bounds
-// every request; cancel it to abort an in-flight run.
+// string values as the server defines them. Each request runs under the
+// caller's context, so a traced run's per-op span rides the wire as a
+// traceparent header (segclient injects it) and cancellation aborts
+// in-flight requests.
 type SegserveTarget struct {
-	c   *segclient.Client
-	ctx context.Context
+	c *segclient.Client
 }
 
-// NewSegserveTarget wraps c. ctx applies to every request the target
-// issues.
-func NewSegserveTarget(ctx context.Context, c *segclient.Client) *SegserveTarget {
-	return &SegserveTarget{c: c, ctx: ctx}
+// NewSegserveTarget wraps c.
+func NewSegserveTarget(c *segclient.Client) *SegserveTarget {
+	return &SegserveTarget{c: c}
 }
 
 // Compile-time check: the remote target satisfies the same interface as
@@ -27,8 +27,8 @@ func NewSegserveTarget(ctx context.Context, c *segclient.Client) *SegserveTarget
 var _ Target[uint64, string] = (*SegserveTarget)(nil)
 
 // Get implements Target; the server's 404 is "not found", not an error.
-func (t *SegserveTarget) Get(k uint64) (string, bool, error) {
-	v, err := t.c.Get(t.ctx, k)
+func (t *SegserveTarget) Get(ctx context.Context, k uint64) (string, bool, error) {
+	v, err := t.c.Get(ctx, k)
 	if errors.Is(err, segclient.ErrNotFound) {
 		return "", false, nil
 	}
@@ -39,13 +39,13 @@ func (t *SegserveTarget) Get(k uint64) (string, bool, error) {
 }
 
 // Put implements Target.
-func (t *SegserveTarget) Put(k uint64, v string) error {
-	return t.c.Put(t.ctx, k, v)
+func (t *SegserveTarget) Put(ctx context.Context, k uint64, v string) error {
+	return t.c.Put(ctx, k, v)
 }
 
 // Delete implements Target.
-func (t *SegserveTarget) Delete(k uint64) (bool, error) {
-	err := t.c.Delete(t.ctx, k)
+func (t *SegserveTarget) Delete(ctx context.Context, k uint64) (bool, error) {
+	err := t.c.Delete(ctx, k)
 	if errors.Is(err, segclient.ErrNotFound) {
 		return false, nil
 	}
@@ -56,11 +56,11 @@ func (t *SegserveTarget) Delete(k uint64) (bool, error) {
 }
 
 // GetBatch implements Target.
-func (t *SegserveTarget) GetBatch(ks []uint64) ([]string, []bool, error) {
-	return t.c.GetBatch(t.ctx, ks)
+func (t *SegserveTarget) GetBatch(ctx context.Context, ks []uint64) ([]string, []bool, error) {
+	return t.c.GetBatch(ctx, ks)
 }
 
 // Scan implements Target.
-func (t *SegserveTarget) Scan(lo, hi uint64, limit int) (int, error) {
-	return t.c.Scan(t.ctx, lo, hi, limit)
+func (t *SegserveTarget) Scan(ctx context.Context, lo, hi uint64, limit int) (int, error) {
+	return t.c.Scan(ctx, lo, hi, limit)
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/keys"
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
 	"repro/internal/workload"
 )
 
@@ -62,6 +64,23 @@ func chooser(s Spec) workload.Chooser {
 	}
 }
 
+// RunOption tunes one Run call beyond what Spec describes.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	tracer *reqtrace.Tracer
+}
+
+// WithTracer traces the measured phase: each operation that wins the
+// tracer's 1-in-N draw runs under a root span carried in the operation's
+// context — remote targets propagate it as a traceparent header,
+// IndexTarget attaches the lookup's descent — and the finished spans
+// land in the tracer's ring. Warmup is never traced. A nil tracer is
+// the same as omitting the option.
+func WithTracer(tr *reqtrace.Tracer) RunOption {
+	return func(c *runConfig) { c.tracer = tr }
+}
+
 // Run executes spec against t and reports per-op latency quantiles and
 // throughput. value produces the payload a Write stores under a key.
 //
@@ -71,14 +90,18 @@ func chooser(s Spec) workload.Chooser {
 // mix unrecorded first. Run returns an error for an invalid spec, a
 // cancelled context, or when every client hit the consecutive-error
 // circuit breaker (a dead target).
-func Run[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec, value func(K) V) (Results, error) {
+func Run[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec, value func(K) V, opts ...RunOption) (Results, error) {
 	if err := spec.Validate(); err != nil {
 		return Results{}, err
+	}
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
 	ch := chooser(spec)
 	if spec.Warmup > 0 {
 		warm := &recorder{}
-		runPhase(ctx, t, spec, ch, value, warm, nil, spec.Warmup)
+		runPhase(ctx, t, spec, ch, value, warm, nil, spec.Warmup, nil)
 		if err := ctx.Err(); err != nil {
 			return Results{}, err
 		}
@@ -90,7 +113,7 @@ func Run[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec, valu
 		budget.Store(int64(spec.Ops))
 	}
 	start := time.Now()
-	alive := runPhase(ctx, t, spec, ch, value, rec, budget, spec.Duration)
+	alive := runPhase(ctx, t, spec, ch, value, rec, budget, spec.Duration, cfg.tracer)
 	elapsed := time.Since(start)
 	if err := ctx.Err(); err != nil {
 		return Results{}, err
@@ -111,7 +134,8 @@ func Run[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec, valu
 // It returns how many clients ran to completion (rather than tripping
 // the error circuit breaker).
 func runPhase[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec,
-	ch workload.Chooser, value func(K) V, rec *recorder, budget *atomic.Int64, dur time.Duration) int {
+	ch workload.Chooser, value func(K) V, rec *recorder, budget *atomic.Int64, dur time.Duration,
+	tracer *reqtrace.Tracer) int {
 
 	var stop atomic.Bool
 	if dur > 0 {
@@ -148,16 +172,29 @@ func runPhase[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec,
 				for cum[kind] <= draw {
 					kind++
 				}
+				// The untraced path pays one atomic load (StartRoot on a
+				// rate-0 or nil tracer) and keeps ctx as-is.
+				sp := tracer.StartRoot(opNames[kind&(numOps-1)])
+				opCtx := ctx
+				if sp != nil {
+					sp.SetAttr("client", strconv.Itoa(client))
+					opCtx = reqtrace.NewContext(ctx, sp)
+				}
 				opStart := time.Now()
-				err := doOp(t, kind, spec, ch, rng, value, batchBuf)
+				err := doOp(opCtx, t, kind, spec, ch, rng, value, batchBuf)
 				d := time.Since(opStart)
 				if err != nil {
+					if sp != nil {
+						sp.SetAttr("error", err.Error())
+					}
+					tracer.Finish(sp)
 					rec.noteError(kind, err)
 					if consecutive++; consecutive >= maxConsecutiveErrors {
 						return
 					}
 					continue
 				}
+				tracer.Finish(sp)
 				consecutive = 0
 				if rec.record {
 					rec.hists[kind].Observe(d)
@@ -172,33 +209,34 @@ func runPhase[K keys.Key, V any](ctx context.Context, t Target[K, V], spec Spec,
 }
 
 // doOp performs one operation of the mix.
-func doOp[K keys.Key, V any](t Target[K, V], kind opKind, spec Spec,
+func doOp[K keys.Key, V any](ctx context.Context, t Target[K, V], kind opKind, spec Spec,
 	ch workload.Chooser, rng *rand.Rand, value func(K) V, batchBuf []K) error {
 
 	switch kind {
 	case opWrite:
 		k := K(ch.Next(rng))
-		return t.Put(k, value(k))
+		return t.Put(ctx, k, value(k))
 	case opScan:
 		lo := ch.Next(rng)
-		_, err := t.Scan(K(lo), K(lo+uint64(spec.ScanLen-1)), spec.ScanLen)
+		_, err := t.Scan(ctx, K(lo), K(lo+uint64(spec.ScanLen-1)), spec.ScanLen)
 		return err
 	case opBatch:
 		for i := range batchBuf {
 			batchBuf[i] = K(ch.Next(rng))
 		}
-		_, _, err := t.GetBatch(batchBuf)
+		_, _, err := t.GetBatch(ctx, batchBuf)
 		return err
 	default:
-		_, _, err := t.Get(K(ch.Next(rng)))
+		_, _, err := t.Get(ctx, K(ch.Next(rng)))
 		return err
 	}
 }
 
 // Load fills the key space: every key in [0, n) is Put exactly once,
 // partitioned across clients goroutines — the YCSB load phase run
-// before a read mix so point reads hit.
-func Load[K keys.Key, V any](t Target[K, V], n, clients int, value func(K) V) error {
+// before a read mix so point reads hit. ctx bounds every Put against a
+// remote target.
+func Load[K keys.Key, V any](ctx context.Context, t Target[K, V], n, clients int, value func(K) V) error {
 	if clients < 1 {
 		clients = 1
 	}
@@ -221,7 +259,7 @@ func Load[K keys.Key, V any](t Target[K, V], n, clients int, value func(K) V) er
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				k := K(uint64(i))
-				if err := t.Put(k, value(k)); err != nil {
+				if err := t.Put(ctx, k, value(k)); err != nil {
 					errs[c] = fmt.Errorf("driver: load key %d: %w", i, err)
 					return
 				}

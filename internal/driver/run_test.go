@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/reqtrace"
 	"repro/internal/segtree"
 )
 
@@ -32,7 +33,7 @@ func TestRunMixedOpBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Load(tgt, spec.Keys, spec.Clients, value); err != nil {
+	if err := Load(context.Background(), tgt, spec.Keys, spec.Clients, value); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
 	res, err := Run(context.Background(), tgt, spec, value)
@@ -125,13 +126,13 @@ func TestRunCancelledContext(t *testing.T) {
 // breaker exists for.
 type failingTarget struct{}
 
-func (failingTarget) Get(uint64) (string, bool, error) { return "", false, errFail }
-func (failingTarget) Put(uint64, string) error         { return errFail }
-func (failingTarget) Delete(uint64) (bool, error)      { return false, errFail }
-func (failingTarget) GetBatch([]uint64) ([]string, []bool, error) {
+func (failingTarget) Get(context.Context, uint64) (string, bool, error) { return "", false, errFail }
+func (failingTarget) Put(context.Context, uint64, string) error         { return errFail }
+func (failingTarget) Delete(context.Context, uint64) (bool, error)      { return false, errFail }
+func (failingTarget) GetBatch(context.Context, []uint64) ([]string, []bool, error) {
 	return nil, nil, errFail
 }
-func (failingTarget) Scan(uint64, uint64, int) (int, error) { return 0, errFail }
+func (failingTarget) Scan(context.Context, uint64, uint64, int) (int, error) { return 0, errFail }
 
 var errFail = errors.New("target down")
 
@@ -154,26 +155,26 @@ func TestRunCircuitBreaker(t *testing.T) {
 // whole surface.
 func TestLockedTarget(t *testing.T) {
 	tgt := NewLockedTarget[uint64, string](segtree.New[uint64, string](segtree.DefaultConfig[uint64]()))
-	if err := Load(tgt, 100, 4, value); err != nil {
+	if err := Load(context.Background(), tgt, 100, 4, value); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	v, ok, err := tgt.Get(42)
+	v, ok, err := tgt.Get(context.Background(), 42)
 	if err != nil || !ok || v != "42" {
 		t.Fatalf("Get(42) = %q, %v, %v", v, ok, err)
 	}
-	vs, found, err := tgt.GetBatch([]uint64{1, 1000})
+	vs, found, err := tgt.GetBatch(context.Background(), []uint64{1, 1000})
 	if err != nil || !found[0] || found[1] || vs[0] != "1" {
 		t.Fatalf("GetBatch = %v, %v, %v", vs, found, err)
 	}
-	n, err := tgt.Scan(10, 19, 100)
+	n, err := tgt.Scan(context.Background(), 10, 19, 100)
 	if err != nil || n != 10 {
 		t.Fatalf("Scan = %d, %v, want 10", n, err)
 	}
-	n, err = tgt.Scan(0, 99, 7)
+	n, err = tgt.Scan(context.Background(), 0, 99, 7)
 	if err != nil || n != 7 {
 		t.Fatalf("Scan limit=7 = %d, %v, want 7", n, err)
 	}
-	ok, err = tgt.Delete(42)
+	ok, err = tgt.Delete(context.Background(), 42)
 	if err != nil || !ok {
 		t.Fatalf("Delete(42) = %v, %v", ok, err)
 	}
@@ -222,5 +223,56 @@ func TestMeasurementsShape(t *testing.T) {
 	if byKey["read-ops/ops"]+byKey["write-ops/ops"] != float64(spec.Ops) {
 		t.Errorf("op counts %g+%g do not sum to budget %d",
 			byKey["read-ops/ops"], byKey["write-ops/ops"], spec.Ops)
+	}
+}
+
+// TestRunWithTracer pins the traced-run contract: sampled ops produce
+// finished root spans named after the op, reads attach descent evidence,
+// and warmup contributes no spans.
+func TestRunWithTracer(t *testing.T) {
+	tgt := newVersionedTarget()
+	spec, err := ParseSpec("read=100,write=0;keys=500;clients=2;ops=1000;warmup=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(context.Background(), tgt, spec.Keys, spec.Clients, value); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	tracer := reqtrace.NewTracer(10, 64)
+	if _, err := Run(context.Background(), tgt, spec, value, WithTracer(tracer)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	spans := tracer.Spans()
+	if len(spans) == 0 {
+		t.Fatal("traced run retained no spans")
+	}
+	st := tracer.Stats()
+	// Warmup ops never reach the sampler: only the 1000 measured ops do.
+	if st.Ops > 1000 {
+		t.Errorf("sampler saw %d ops, budget was 1000 (warmup must not be traced)", st.Ops)
+	}
+	for _, sp := range spans {
+		if sp.Name != "read" {
+			t.Errorf("span name = %q, want read", sp.Name)
+		}
+		if sp.TraceID.IsZero() || sp.Duration <= 0 {
+			t.Errorf("malformed span: %+v", sp)
+		}
+		if sp.Descent == nil {
+			t.Errorf("read span %s has no descent attached", sp.SpanID)
+		}
+	}
+}
+
+// TestRunUntracedHasNoSpans pins the default: no option, no spans, and a
+// nil tracer option is equally inert.
+func TestRunUntracedHasNoSpans(t *testing.T) {
+	tgt := newVersionedTarget()
+	spec, err := ParseSpec("read=100,write=0;keys=100;clients=1;ops=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), tgt, spec, value, WithTracer(nil)); err != nil {
+		t.Fatalf("Run: %v", err)
 	}
 }

@@ -1,29 +1,37 @@
 package driver
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/concurrent"
 	"repro/internal/index"
 	"repro/internal/keys"
+	"repro/internal/reqtrace"
+	"repro/internal/trace"
 )
 
 // Target is the backend a workload runs against. Methods mirror the
-// index layer's read/write surface but return errors, because a remote
-// backend (segserve over HTTP) can fail where the in-process index
-// cannot. Implementations must be safe for use from Spec.Clients
+// index layer's read/write surface but take a context and return errors,
+// because a remote backend (segserve over HTTP) can be cancelled and can
+// fail where the in-process index cannot. The context also carries the
+// per-op request span when the run is traced (driver.WithTracer); remote
+// targets propagate it on the wire, in-process ones attach descent
+// evidence to it. Implementations must be safe for use from Spec.Clients
 // goroutines at once.
 type Target[K keys.Key, V any] interface {
 	// Get returns the value under k and whether it was present.
-	Get(k K) (V, bool, error)
+	Get(ctx context.Context, k K) (V, bool, error)
 	// Put stores v under k.
-	Put(k K, v V) error
+	Put(ctx context.Context, k K, v V) error
 	// Delete removes k, reporting whether it was present.
-	Delete(k K) (bool, error)
+	Delete(ctx context.Context, k K) (bool, error)
 	// GetBatch looks up many keys at once, values and found mask in
 	// input order.
-	GetBatch(ks []K) ([]V, []bool, error)
+	GetBatch(ctx context.Context, ks []K) ([]V, []bool, error)
 	// Scan visits the items with lo ≤ key ≤ hi in ascending order, at
 	// most limit of them, and returns how many it visited.
-	Scan(lo, hi K, limit int) (int, error)
+	Scan(ctx context.Context, lo, hi K, limit int) (int, error)
 }
 
 // IndexTarget adapts any index.Index — including its Versioned, Sharded
@@ -39,31 +47,40 @@ func NewIndexTarget[K keys.Key, V any](ix index.Index[K, V]) *IndexTarget[K, V] 
 	return &IndexTarget[K, V]{ix: ix}
 }
 
-// Get implements Target.
-func (t *IndexTarget[K, V]) Get(k K) (V, bool, error) {
+// Get implements Target. When ctx carries a request span, the lookup
+// runs traced and the descent is attached to the span — the in-process
+// equivalent of segserve's sampled-request evidence.
+func (t *IndexTarget[K, V]) Get(ctx context.Context, k K) (V, bool, error) {
+	if sp := reqtrace.FromContext(ctx); sp != nil {
+		tr := trace.New("get", fmt.Sprint(k))
+		v, ok := t.ix.GetTraced(k, tr)
+		tr.Finish(ok)
+		sp.AttachDescent(tr)
+		return v, ok, nil
+	}
 	v, ok := t.ix.Get(k)
 	return v, ok, nil
 }
 
 // Put implements Target.
-func (t *IndexTarget[K, V]) Put(k K, v V) error {
+func (t *IndexTarget[K, V]) Put(ctx context.Context, k K, v V) error {
 	t.ix.Put(k, v)
 	return nil
 }
 
 // Delete implements Target.
-func (t *IndexTarget[K, V]) Delete(k K) (bool, error) {
+func (t *IndexTarget[K, V]) Delete(ctx context.Context, k K) (bool, error) {
 	return t.ix.Delete(k), nil
 }
 
 // GetBatch implements Target.
-func (t *IndexTarget[K, V]) GetBatch(ks []K) ([]V, []bool, error) {
+func (t *IndexTarget[K, V]) GetBatch(ctx context.Context, ks []K) ([]V, []bool, error) {
 	vs, found := t.ix.GetBatch(ks)
 	return vs, found, nil
 }
 
 // Scan implements Target.
-func (t *IndexTarget[K, V]) Scan(lo, hi K, limit int) (int, error) {
+func (t *IndexTarget[K, V]) Scan(ctx context.Context, lo, hi K, limit int) (int, error) {
 	n := 0
 	t.ix.Scan(lo, hi, func(K, V) bool {
 		n++
@@ -89,30 +106,30 @@ func NewLockedTarget[K keys.Key, V any](ix index.Index[K, V]) *LockedTarget[K, V
 }
 
 // Get implements Target.
-func (t *LockedTarget[K, V]) Get(k K) (V, bool, error) {
+func (t *LockedTarget[K, V]) Get(ctx context.Context, k K) (V, bool, error) {
 	v, ok := t.l.Get(k)
 	return v, ok, nil
 }
 
 // Put implements Target.
-func (t *LockedTarget[K, V]) Put(k K, v V) error {
+func (t *LockedTarget[K, V]) Put(ctx context.Context, k K, v V) error {
 	t.l.Put(k, v)
 	return nil
 }
 
 // Delete implements Target.
-func (t *LockedTarget[K, V]) Delete(k K) (bool, error) {
+func (t *LockedTarget[K, V]) Delete(ctx context.Context, k K) (bool, error) {
 	return t.l.Delete(k), nil
 }
 
 // GetBatch implements Target (one read-lock acquisition for the batch).
-func (t *LockedTarget[K, V]) GetBatch(ks []K) ([]V, []bool, error) {
+func (t *LockedTarget[K, V]) GetBatch(ctx context.Context, ks []K) ([]V, []bool, error) {
 	vs, found := t.l.GetBatch(ks)
 	return vs, found, nil
 }
 
 // Scan implements Target, holding the read lock for the whole range.
-func (t *LockedTarget[K, V]) Scan(lo, hi K, limit int) (int, error) {
+func (t *LockedTarget[K, V]) Scan(ctx context.Context, lo, hi K, limit int) (int, error) {
 	n := 0
 	t.l.View(func(concurrent.Map[K, V]) {
 		t.ix.Scan(lo, hi, func(K, V) bool {

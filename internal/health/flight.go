@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/reqtrace"
 	"repro/internal/shape"
 	"repro/internal/trace"
 )
@@ -37,6 +38,10 @@ type Bundle struct {
 	// Sampled is a snapshot of the recent sampled traces.
 	SlowOps []*trace.Trace `json:"slow_ops,omitempty"`
 	Sampled []*trace.Trace `json:"sampled,omitempty"`
+	// Spans are the request spans drained from the server's tracer ring —
+	// whole-request evidence (trace IDs a client also logged) next to the
+	// per-descent traces above.
+	Spans []*reqtrace.Span `json:"spans,omitempty"`
 	// Shape is the structural-health report of the watched index.
 	Shape *shape.Report `json:"shape,omitempty"`
 	// MVCC is the snapshot-publication state, when the index is

@@ -1,0 +1,25 @@
+package obs
+
+import "fmt"
+
+// Exemplar links a histogram bucket back to one concrete request: the
+// trace ID of the most recent *sampled* observation that landed in the
+// bucket, plus the observed latency itself. It is the bridge from an
+// aggregate ("p99 regressed") to evidence (/debug/requests?trace=<id>
+// shows the exact descent that paid that latency).
+//
+// The trace identity is carried as two raw uint64 halves rather than a
+// reqtrace.TraceID so obs stays a leaf package with no tracing
+// dependency.
+type Exemplar struct {
+	TraceHi, TraceLo uint64
+	// NS is the observed latency in nanoseconds; always inside the
+	// bucket's range, so the OpenMetrics constraint value ≤ le holds.
+	NS uint64
+}
+
+// TraceIDString renders the 32-lowercase-hex wire form of the trace ID —
+// the same form traceparent carries and /debug/requests?trace= accepts.
+func (e *Exemplar) TraceIDString() string {
+	return fmt.Sprintf("%016x%016x", e.TraceHi, e.TraceLo)
+}

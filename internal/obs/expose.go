@@ -84,6 +84,21 @@ func (s CounterSnapshot) CounterProm(w io.Writer, prefix string) error {
 // (pre-rendered `k="v"` pairs, empty for none) are merged into every
 // series, as Prometheus requires for histograms split by label.
 func (s HistogramSnapshot) HistogramProm(w io.Writer, name, labels, help string) error {
+	return s.histogramProm(w, name, labels, help, nil)
+}
+
+// HistogramPromExemplars is HistogramProm plus OpenMetrics exemplars:
+// each bucket line whose bucket holds an exemplar gains the
+// `# {trace_id="<32 hex>"} <seconds>` suffix, linking the bucket to the
+// most recent sampled request that landed in it. Exemplars are indexed
+// like Counts (pass WindowedHistogram.Exemplars()). The suffix is
+// OpenMetrics syntax; the rest of the line stays Prometheus-text
+// compatible, which is how most scrapers accept mixed output.
+func (s HistogramSnapshot) HistogramPromExemplars(w io.Writer, name, labels, help string, exemplars [histBuckets]*Exemplar) error {
+	return s.histogramProm(w, name, labels, help, &exemplars)
+}
+
+func (s HistogramSnapshot) histogramProm(w io.Writer, name, labels, help string, exemplars *[histBuckets]*Exemplar) error {
 	name = promName(name)
 	if help != "" {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
@@ -110,8 +125,17 @@ func (s HistogramSnapshot) HistogramProm(w io.Writer, name, labels, help string)
 		cum += s.Counts[i]
 		// Bucket i holds ns < 2^i, i.e. seconds ≤ (2^i − 1)/1e9.
 		le := float64(uint64(1)<<uint(i)-1) / 1e9
-		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n",
-			name, join(fmt.Sprintf("le=%q", formatFloat(le))), cum); err != nil {
+		exemplar := ""
+		if exemplars != nil && exemplars[i] != nil {
+			e := exemplars[i]
+			// The exemplar's value is the observed latency in seconds; by
+			// construction e.NS is inside bucket i, so value ≤ le holds as
+			// OpenMetrics requires.
+			exemplar = fmt.Sprintf(" # {trace_id=%q} %s",
+				e.TraceIDString(), formatFloat(float64(e.NS)/1e9))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d%s\n",
+			name, join(fmt.Sprintf("le=%q", formatFloat(le))), cum, exemplar); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
@@ -40,6 +41,13 @@ type WindowedHistogram struct {
 	mask   uint64
 	cur    atomic.Uint64
 	tick   time.Duration
+
+	// exemplars[i] is the most recent sampled observation that landed in
+	// bucket i, or nil. Exemplars are per-bucket, not per-epoch: they are
+	// debugging breadcrumbs ("which trace last paid this latency"), not
+	// windowed statistics, so they survive rotation until a newer sampled
+	// observation in the same bucket replaces them.
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
 }
 
 // NewWindowedHistogram returns a histogram windowed over epochs ticks of
@@ -69,6 +77,43 @@ func (w *WindowedHistogram) Epochs() int { return len(w.epochs) }
 //simdtree:hotpath
 func (w *WindowedHistogram) Observe(d time.Duration) {
 	w.epochs[w.cur.Load()&w.mask].Observe(d)
+}
+
+// ObserveExemplar records one duration like Observe and additionally
+// remembers the observing request's trace identity as the exemplar of
+// the bucket the duration lands in. Call it only on the sampled path —
+// it allocates one Exemplar — and fall back to Observe for unsampled
+// requests; an all-zero trace ID records no exemplar.
+func (w *WindowedHistogram) ObserveExemplar(d time.Duration, traceHi, traceLo uint64) {
+	w.Observe(d)
+	if traceHi == 0 && traceLo == 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	w.exemplars[bits.Len64(ns)].Store(&Exemplar{TraceHi: traceHi, TraceLo: traceLo, NS: ns})
+}
+
+// BucketExemplar returns the exemplar of bucket i, or nil when i is out
+// of range or no sampled observation has landed there.
+func (w *WindowedHistogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= histBuckets {
+		return nil
+	}
+	return w.exemplars[i].Load()
+}
+
+// Exemplars snapshots all per-bucket exemplars, indexed like
+// HistogramSnapshot.Counts; entries are nil where no sampled observation
+// has landed.
+func (w *WindowedHistogram) Exemplars() [histBuckets]*Exemplar {
+	var out [histBuckets]*Exemplar
+	for i := range out {
+		out[i] = w.exemplars[i].Load()
+	}
+	return out
 }
 
 // Rotate closes the current epoch: the oldest slot is zeroed and becomes

@@ -1,0 +1,23 @@
+package reqtrace
+
+import "context"
+
+// ctxKey is the private context key for span carriage. A zero-size type
+// means context.WithValue boxes no payload for the key itself.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sp. A nil span returns ctx unchanged,
+// so the unsampled path allocates nothing.
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span ctx carries, or nil — and nil is fine:
+// every Span method is nil-safe, so callers record unconditionally.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,75 @@
+package reqtrace
+
+import "sync/atomic"
+
+// Ring is a lock-free fixed-capacity ring of finished spans — the
+// trace.Ring pattern applied to request spans. Writers claim a slot with
+// one atomic increment and store a pointer; readers snapshot without
+// blocking writers. A reader racing a wrapping writer observes a slot as
+// either the old or the new span — both complete — so a snapshot is
+// always well-formed, merely approximate about which N spans are "the
+// latest".
+type Ring struct {
+	slots []atomic.Pointer[Span]
+	mask  uint64
+	seq   atomic.Uint64
+}
+
+// NewRing returns a ring holding the most recent capacity spans, rounded
+// up to a power of two (minimum 1).
+func NewRing(capacity int) *Ring {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Span], c), mask: uint64(c - 1)}
+}
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Total reports how many spans were ever added, including overwritten
+// ones.
+func (r *Ring) Total() uint64 { return r.seq.Load() }
+
+// Add stores sp, overwriting the oldest entry once the ring is full.
+func (r *Ring) Add(sp *Span) {
+	i := r.seq.Add(1) - 1
+	r.slots[i&r.mask].Store(sp)
+}
+
+// Snapshot returns the retained spans, newest first.
+func (r *Ring) Snapshot() []*Span {
+	seq := r.seq.Load()
+	n := uint64(len(r.slots))
+	if seq < n {
+		n = seq
+	}
+	out := make([]*Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if sp := r.slots[(seq-1-i)&r.mask].Load(); sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Drain returns the retained spans, newest first, and clears the ring —
+// the consume-once form a diagnostics bundle uses so the next bundle
+// carries only spans finished after this one. A writer racing a Drain
+// may slip a span in behind the sweep; it simply waits for the next
+// drain.
+func (r *Ring) Drain() []*Span {
+	seq := r.seq.Load()
+	n := uint64(len(r.slots))
+	if seq < n {
+		n = seq
+	}
+	out := make([]*Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if sp := r.slots[(seq-1-i)&r.mask].Swap(nil); sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package reqtrace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the W3C Trace Context `traceparent` header
+// (https://www.w3.org/TR/trace-context/): the wire form of a span's
+// identity. segclient injects it on every outbound request carrying a
+// span; segserve's middleware parses it and continues the trace.
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ ^^^^^^^^^^^ trace-id ^^^^^^^^^^^ ^^ parent-id ^^ ^^
+//	          version          (32 hex)                (16 hex)    flags
+
+// TraceparentHeader is the canonical header name (HTTP header names are
+// case-insensitive; W3C specifies lowercase).
+const TraceparentHeader = "traceparent"
+
+// flagSampled is the only trace-flag bit the spec defines.
+const flagSampled = 0x01
+
+// SpanContext is the propagated identity of a span: what crosses the
+// wire in a traceparent header. The zero value is invalid.
+type SpanContext struct {
+	TraceID TraceID `json:"trace_id"`
+	SpanID  SpanID  `json:"span_id"`
+	// Sampled is the 01 trace-flag: the caller recorded this span and
+	// expects downstream tiers to record theirs.
+	Sampled bool `json:"sampled"`
+}
+
+// Valid reports whether both IDs are non-zero, the W3C validity rule.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the version-00 header value for this context.
+func (sc SpanContext) Traceparent() string {
+	flags := 0
+	if sc.Sampled {
+		flags = flagSampled
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", sc.TraceID, sc.SpanID, flags)
+}
+
+// Traceparent layout offsets: "vv-tttt...t-pppp...p-ff".
+const (
+	tpVersionEnd = 2  // "vv"
+	tpTraceStart = 3  // after "vv-"
+	tpTraceEnd   = 35 // 32 hex digits
+	tpSpanStart  = 36
+	tpSpanEnd    = 52 // 16 hex digits
+	tpFlagsStart = 53
+	tpLen        = 55
+)
+
+var (
+	errTooShort   = errors.New("reqtrace: traceparent shorter than 55 characters")
+	errDelimiters = errors.New("reqtrace: traceparent field delimiters are not '-'")
+	errVersion    = errors.New("reqtrace: traceparent version is not hex")
+	errVersionFF  = errors.New("reqtrace: traceparent version ff is forbidden")
+	errVersion00  = errors.New("reqtrace: version-00 traceparent has trailing data")
+	errTrailer    = errors.New("reqtrace: future-version traceparent continues without '-'")
+	errTraceID    = errors.New("reqtrace: trace-id is not 32 lowercase hex digits")
+	errZeroTrace  = errors.New("reqtrace: all-zero trace-id is invalid")
+	errSpanID     = errors.New("reqtrace: parent-id is not 16 lowercase hex digits")
+	errZeroSpan   = errors.New("reqtrace: all-zero parent-id is invalid")
+	errFlags      = errors.New("reqtrace: trace-flags is not 2 lowercase hex digits")
+)
+
+// ParseTraceparent parses a traceparent header value per the W3C
+// validation rules: exact field widths, lowercase hex, non-zero IDs, a
+// forbidden version ff, and — for versions newer than 00 — tolerance of
+// additional fields after the flags, so a header minted by a future spec
+// still propagates. Any violation returns an error; the caller should
+// then start a fresh trace rather than continue a corrupt one.
+func ParseTraceparent(h string) (SpanContext, error) {
+	if len(h) < tpLen {
+		return SpanContext{}, errTooShort
+	}
+	if h[tpVersionEnd] != '-' || h[tpTraceEnd] != '-' || h[tpSpanEnd] != '-' {
+		return SpanContext{}, errDelimiters
+	}
+	version, ok := parseHex64(h[:tpVersionEnd])
+	if !ok {
+		return SpanContext{}, errVersion
+	}
+	switch {
+	case version == 0xff:
+		return SpanContext{}, errVersionFF
+	case version == 0 && len(h) != tpLen:
+		return SpanContext{}, errVersion00
+	case version != 0 && len(h) > tpLen && h[tpLen] != '-':
+		return SpanContext{}, errTrailer
+	}
+	hi, ok1 := parseHex64(h[tpTraceStart : tpTraceStart+16])
+	lo, ok2 := parseHex64(h[tpTraceStart+16 : tpTraceEnd])
+	if !ok1 || !ok2 {
+		return SpanContext{}, errTraceID
+	}
+	tid := TraceID{Hi: hi, Lo: lo}
+	if tid.IsZero() {
+		return SpanContext{}, errZeroTrace
+	}
+	sid, ok := parseHex64(h[tpSpanStart:tpSpanEnd])
+	if !ok {
+		return SpanContext{}, errSpanID
+	}
+	if sid == 0 {
+		return SpanContext{}, errZeroSpan
+	}
+	flags, ok := parseHex64(h[tpFlagsStart : tpFlagsStart+2])
+	if !ok {
+		return SpanContext{}, errFlags
+	}
+	return SpanContext{
+		TraceID: tid,
+		SpanID:  SpanID(sid),
+		Sampled: flags&flagSampled != 0,
+	}, nil
+}

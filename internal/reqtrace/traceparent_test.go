@@ -1,0 +1,178 @@
+package reqtrace
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestParseTraceparentValid(t *testing.T) {
+	sc, err := ParseTraceparent(goodTP)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", goodTP, err)
+	}
+	if got := sc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace ID = %s", got)
+	}
+	if got := sc.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("span ID = %s", got)
+	}
+	if !sc.Sampled {
+		t.Error("sampled flag not set")
+	}
+	if !sc.Valid() {
+		t.Error("Valid() = false for a good header")
+	}
+}
+
+func TestParseTraceparentUnsampled(t *testing.T) {
+	h := strings.TrimSuffix(goodTP, "01") + "00"
+	sc, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if sc.Sampled {
+		t.Error("flags 00 parsed as sampled")
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// A future version may carry extra fields after the flags; the known
+	// prefix must still parse.
+	for _, h := range []string{
+		"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra-stuff",
+	} {
+		sc, err := ParseTraceparent(h)
+		if err != nil {
+			t.Errorf("ParseTraceparent(%q): %v", h, err)
+			continue
+		}
+		if !sc.Valid() || !sc.Sampled {
+			t.Errorf("ParseTraceparent(%q) = %+v", h, sc)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		h    string
+	}{
+		{"empty", ""},
+		{"truncated", goodTP[:54]},
+		{"version 00 with trailer", goodTP + "-extra"},
+		{"version ff", "ff" + goodTP[2:]},
+		{"future version bad trailer", "cc" + goodTP[2:] + "x"},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"uppercase version", "A0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01"},
+		{"non-hex span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01"},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz"},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"wrong delimiter 1", "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"wrong delimiter 2", "00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01"},
+		{"wrong delimiter 3", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7_01"},
+		{"shifted fields", "0-04bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+	}
+	for _, tc := range cases {
+		if sc, err := ParseTraceparent(tc.h); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) = %+v, want error", tc.name, tc.h, sc)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{true, false} {
+		in := SpanContext{
+			TraceID: TraceID{Hi: 0x4bf92f3577b34da6, Lo: 0xa3ce929d0e0e4736},
+			SpanID:  0x00f067aa0ba902b7,
+			Sampled: sampled,
+		}
+		out, err := ParseTraceparent(in.Traceparent())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", in.Traceparent(), err)
+		}
+		if out != in {
+			t.Errorf("round trip: in %+v out %+v", in, out)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id, err := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != (TraceID{Hi: 0x4bf92f3577b34da6, Lo: 0xa3ce929d0e0e4736}) {
+		t.Errorf("ParseTraceID = %+v", id)
+	}
+	for _, bad := range []string{
+		"", "4bf92f", strings.Repeat("0", 32), strings.Repeat("g", 32),
+		"4BF92F3577B34DA6A3CE929D0E0E4736",
+	} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestIDTextMarshalling(t *testing.T) {
+	tid := TraceID{Hi: 1, Lo: 0xdeadbeef}
+	b, err := tid.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceID
+	if err := back.UnmarshalText(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != tid {
+		t.Errorf("TraceID text round trip: %v -> %s -> %v", tid, b, back)
+	}
+
+	sid := SpanID(0xcafe)
+	sb, err := sid.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sback SpanID
+	if err := sback.UnmarshalText(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sback != sid {
+		t.Errorf("SpanID text round trip: %v -> %s -> %v", sid, sb, sback)
+	}
+	if err := sback.UnmarshalText([]byte("xyz")); err == nil {
+		t.Error("UnmarshalText accepted non-hex span ID")
+	}
+}
+
+// FuzzParseTraceparent asserts the parser never panics and that anything
+// it accepts survives a format/reparse round trip.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(goodTP)
+	f.Add(strings.TrimSuffix(goodTP, "01") + "00")
+	f.Add("cc" + goodTP[2:] + "-future")
+	f.Add("")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Fuzz(func(t *testing.T, h string) {
+		sc, err := ParseTraceparent(h)
+		if err != nil {
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted invalid context from %q: %+v", h, sc)
+		}
+		back, err := ParseTraceparent(sc.Traceparent())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", sc.Traceparent(), h, err)
+		}
+		if back != sc {
+			t.Fatalf("round trip drift: %+v vs %+v", sc, back)
+		}
+	})
+}

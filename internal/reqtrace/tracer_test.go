@@ -1,0 +1,197 @@
+package reqtrace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTracerSamplingRate(t *testing.T) {
+	tr := NewTracer(4, 64)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if sp := tr.StartRoot("op"); sp != nil {
+			sampled++
+			tr.Finish(sp)
+		}
+	}
+	if sampled != 100 {
+		t.Errorf("1-in-4 sampling over 400 ops: %d spans, want 100", sampled)
+	}
+	st := tr.Stats()
+	if st.Started != 100 || st.Finished != 100 || st.Rate != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTracerOffAndNil(t *testing.T) {
+	tr := NewTracer(0, 8)
+	for i := 0; i < 100; i++ {
+		if sp := tr.StartRoot("op"); sp != nil {
+			t.Fatal("rate 0 produced a span")
+		}
+	}
+	var nilTracer *Tracer
+	if nilTracer.StartRoot("op") != nil || nilTracer.ShouldSample() {
+		t.Fatal("nil tracer produced a span")
+	}
+	nilTracer.SetRate(1)
+	nilTracer.Finish(nil)
+	if got := nilTracer.Spans(); got != nil {
+		t.Errorf("nil tracer Spans = %v", got)
+	}
+	if st := nilTracer.Stats(); st != (TracerStats{}) {
+		t.Errorf("nil tracer Stats = %+v", st)
+	}
+}
+
+func TestTracerIDsUniqueNonZero(t *testing.T) {
+	tr := NewTracer(1, 8)
+	seenTrace := map[TraceID]bool{}
+	seenSpan := map[SpanID]bool{}
+	for i := 0; i < 1000; i++ {
+		sp := tr.StartRoot("op")
+		if sp == nil {
+			t.Fatal("rate 1 skipped a span")
+		}
+		if sp.TraceID.IsZero() || sp.SpanID.IsZero() {
+			t.Fatal("zero ID minted")
+		}
+		if seenTrace[sp.TraceID] || seenSpan[sp.SpanID] {
+			t.Fatalf("duplicate ID at op %d", i)
+		}
+		seenTrace[sp.TraceID] = true
+		seenSpan[sp.SpanID] = true
+	}
+}
+
+func TestStartRemote(t *testing.T) {
+	tr := NewTracer(0, 8) // root sampling off: remote continuation must still work
+	parent := SpanContext{TraceID: TraceID{Hi: 7, Lo: 9}, SpanID: 42, Sampled: true}
+	sp := tr.StartRemote("GET /v1/keys/{key}", parent)
+	if sp == nil {
+		t.Fatal("sampled remote context not continued")
+	}
+	if sp.TraceID != parent.TraceID {
+		t.Errorf("trace ID not inherited: %v", sp.TraceID)
+	}
+	if sp.Parent != parent.SpanID || !sp.Remote {
+		t.Errorf("parent linkage: parent=%v remote=%v", sp.Parent, sp.Remote)
+	}
+	if sp.SpanID == SpanID(parent.SpanID) || sp.SpanID.IsZero() {
+		t.Errorf("child span ID = %v", sp.SpanID)
+	}
+
+	if tr.StartRemote("x", SpanContext{TraceID: TraceID{Lo: 1}, SpanID: 1, Sampled: false}) != nil {
+		t.Error("unsampled remote context produced a span")
+	}
+	if tr.StartRemote("x", SpanContext{}) != nil {
+		t.Error("invalid remote context produced a span")
+	}
+}
+
+func TestTracerRingRetentionAndDrain(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Finish(tr.StartRoot("op"))
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	// Newest first: durations set, distinct span IDs.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].SpanID == spans[0].SpanID {
+			t.Error("duplicate span in snapshot")
+		}
+	}
+	drained := tr.Drain()
+	if len(drained) != 4 {
+		t.Fatalf("drained %d spans, want 4", len(drained))
+	}
+	if left := tr.Spans(); len(left) != 0 {
+		t.Errorf("%d spans left after drain", len(left))
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := NewTracer(1, 8)
+	sp := tr.StartRoot("read")
+	sp.SetAttr("key", "0102")
+	sp.Event("lookup done")
+	if sc := sp.Context(); !sc.Valid() || !sc.Sampled {
+		t.Errorf("Context() = %+v", sc)
+	}
+	tr.Finish(sp)
+	if sp.Duration <= 0 {
+		t.Error("Finish did not stamp duration")
+	}
+	if len(sp.Attrs) != 1 || sp.Attrs[0] != (Attr{Key: "key", Value: "0102"}) {
+		t.Errorf("attrs = %+v", sp.Attrs)
+	}
+	if len(sp.Events) != 1 || sp.Events[0].Name != "lookup done" {
+		t.Errorf("events = %+v", sp.Events)
+	}
+
+	// Caps hold against a misbehaving caller.
+	big := tr.StartRoot("spam")
+	for i := 0; i < 10*maxAttrs; i++ {
+		big.SetAttr("k", "v")
+		big.Event("e")
+	}
+	if len(big.Attrs) != maxAttrs || len(big.Events) != maxEvents {
+		t.Errorf("caps: %d attrs, %d events", len(big.Attrs), len(big.Events))
+	}
+}
+
+func TestNilSpanMethods(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.Event("e")
+	sp.AttachDescent(nil)
+	sp.finish()
+	if sc := sp.Context(); sc.Valid() {
+		t.Errorf("nil span Context() = %+v", sc)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext(bare) = %v", got)
+	}
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Fatal("NewContext(nil span) did not return ctx unchanged")
+	}
+	sp := &Span{SpanID: 1, Name: "x", Start: time.Now()}
+	ctx2 := NewContext(ctx, sp)
+	if got := FromContext(ctx2); got != sp {
+		t.Fatalf("FromContext = %v, want %v", got, sp)
+	}
+}
+
+// TestSpanOffPathAllocationFree pins the off-path cost: no allocations
+// for the sampling check, the context probe, or nil-span recording.
+func TestSpanOffPathAllocationFree(t *testing.T) {
+	tr := NewTracer(0, 8)
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		if sp := tr.StartRoot("op"); sp != nil {
+			tr.Finish(sp)
+		}
+	}); n != 0 {
+		t.Errorf("span-off StartRoot allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := FromContext(ctx)
+		sp.SetAttr("k", "v")
+		sp.Event("e")
+	}); n != 0 {
+		t.Errorf("nil-span recording allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = NewContext(ctx, nil)
+	}); n != 0 {
+		t.Errorf("NewContext(nil) allocates %v/op", n)
+	}
+}

@@ -18,11 +18,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/reqtrace"
 )
 
 // ErrNotFound reports a key the server does not hold (HTTP 404 on /get
@@ -30,16 +33,33 @@ import (
 var ErrNotFound = errors.New("segclient: key not found")
 
 // StatusError is any other non-2xx server response, carrying the status
-// code and the response body (trimmed).
+// code and a bounded snippet of the response body.
 type StatusError struct {
 	// Code is the HTTP status code.
 	Code int
-	// Body is the response body, trimmed of trailing whitespace.
+	// Body is the leading maxErrSnippet bytes of the response body,
+	// trimmed of surrounding whitespace, with a truncation marker when the
+	// body was longer. StatusErrors end up in log lines and driver error
+	// summaries, so an unbounded (up to maxBody) echo of a misdirected
+	// response would be its own incident.
 	Body string
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("segclient: server returned %d: %s", e.Code, e.Body)
+}
+
+// maxErrSnippet bounds StatusError.Body: enough to read the server's
+// error line, never a page of HTML.
+const maxErrSnippet = 256
+
+// errSnippet renders the bounded StatusError body.
+func errSnippet(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if len(s) <= maxErrSnippet {
+		return s
+	}
+	return fmt.Sprintf("%s... (%d bytes total)", strings.TrimSpace(s[:maxErrSnippet]), len(s))
 }
 
 // maxBody bounds how much of a response (or error body) is read — the
@@ -97,6 +117,12 @@ func (c *Client) get(ctx context.Context, path string, query url.Values) ([]byte
 	if err != nil {
 		return nil, err
 	}
+	// Propagate the caller's span, if any, as a W3C traceparent so the
+	// server continues the same trace. Unsampled requests carry a nil span
+	// and pay one nil check, no header and no allocation.
+	if sp := reqtrace.FromContext(ctx); sp != nil {
+		req.Header.Set(reqtrace.TraceparentHeader, sp.Context().Traceparent())
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -110,7 +136,7 @@ func (c *Client) get(ctx context.Context, path string, query url.Values) ([]byte
 	case resp.StatusCode == http.StatusNotFound:
 		return nil, ErrNotFound
 	case resp.StatusCode < 200 || resp.StatusCode > 299:
-		return nil, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(body))}
+		return nil, &StatusError{Code: resp.StatusCode, Body: errSnippet(body)}
 	}
 	return body, nil
 }
@@ -233,18 +259,41 @@ func (c *Client) Readyz(ctx context.Context) error {
 // a freshly exec'd segserve need not be racily slept on. Readiness, not
 // liveness, is the right gate for a load client: an SLO-breaching server
 // (under -ready-slo) is alive but should not receive more traffic yet.
+//
+// Retries back off exponentially (jittered, capped at a quarter second):
+// a server that is up answers the first millisecond-scale probes, while
+// one that is genuinely booting is not hammered at a fixed 50 ms cadence
+// by a fleet of waiting clients.
 func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var last error
-	for {
+	for attempt := 0; ; attempt++ {
 		if last = c.Readyz(ctx); last == nil {
 			return nil
 		}
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("segclient: server not ready after %v: %w", timeout, last)
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(readyBackoff(attempt)):
 		}
 	}
+}
+
+const (
+	readyBackoffBase = 2 * time.Millisecond
+	readyBackoffCap  = 250 * time.Millisecond
+)
+
+// readyBackoff returns the sleep before retry attempt (0-based):
+// exponential from readyBackoffBase, capped at readyBackoffCap, with the
+// final duration drawn uniformly from [base/2, base) — synchronized
+// doubling would make every restarting client probe in lockstep; jitter
+// spreads the herd.
+func readyBackoff(attempt int) time.Duration {
+	base := readyBackoffBase << uint(attempt)
+	if base <= 0 || base > readyBackoffCap { // the <= 0 arm guards shift overflow
+		base = readyBackoffCap
+	}
+	return base/2 + time.Duration(rand.Int64N(int64(base/2)))
 }

@@ -9,8 +9,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/reqtrace"
 )
 
 // stubServer mimics segserve's endpoint contract over an in-memory map,
@@ -236,5 +239,124 @@ func TestWaitReadyRespectsBreachingServer(t *testing.T) {
 	}
 	if err := c.WaitReady(ctx, 150*time.Millisecond); err == nil {
 		t.Fatal("WaitReady succeeded against a breaching server")
+	}
+}
+
+// TestTraceparentInjection pins the propagation contract: a span in the
+// context rides out as a W3C traceparent header; no span, no header.
+func TestTraceparentInjection(t *testing.T) {
+	headers := make(chan string, 2)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
+		headers <- r.Header.Get(reqtrace.TraceparentHeader)
+		fmt.Fprintln(w, "v")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := New(srv.URL)
+
+	tracer := reqtrace.NewTracer(1, 8)
+	sp := tracer.StartRoot("read")
+	ctx := reqtrace.NewContext(context.Background(), sp)
+	if _, err := c.Get(ctx, 1); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	h := <-headers
+	sc, err := reqtrace.ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("injected header %q does not parse: %v", h, err)
+	}
+	if sc.TraceID != sp.TraceID || sc.SpanID != sp.SpanID || !sc.Sampled {
+		t.Errorf("header %q carries %+v, span is %v/%v", h, sc, sp.TraceID, sp.SpanID)
+	}
+
+	if _, err := c.Get(context.Background(), 1); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if h := <-headers; h != "" {
+		t.Errorf("spanless request carried traceparent %q", h)
+	}
+}
+
+// TestStatusErrorSnippetTruncation pins that StatusError carries a
+// bounded snippet, not the whole (potentially huge) error body.
+func TestStatusErrorSnippetTruncation(t *testing.T) {
+	big := strings.Repeat("x", 100_000)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, big, http.StatusInternalServerError)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	_, err := New(srv.URL).Get(context.Background(), 1)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want StatusError{500}", err)
+	}
+	if len(se.Body) > maxErrSnippet+64 {
+		t.Errorf("snippet not bounded: %d bytes", len(se.Body))
+	}
+	if !strings.Contains(se.Body, "bytes total)") {
+		t.Errorf("no truncation marker in %q", se.Body[len(se.Body)-40:])
+	}
+	if !strings.HasPrefix(se.Body, "xxxx") {
+		t.Errorf("snippet lost the body prefix: %q", se.Body[:16])
+	}
+
+	// Short bodies pass through untouched.
+	if got := errSnippet([]byte("  not found\n")); got != "not found" {
+		t.Errorf("errSnippet(short) = %q", got)
+	}
+}
+
+// TestReadyBackoff pins the jittered-exponential shape: growth from the
+// base, a hard cap, and jitter staying within [base/2, base).
+func TestReadyBackoff(t *testing.T) {
+	for attempt := 0; attempt < 64; attempt++ {
+		base := readyBackoffBase << uint(attempt)
+		if base <= 0 || base > readyBackoffCap {
+			base = readyBackoffCap
+		}
+		for i := 0; i < 50; i++ {
+			d := readyBackoff(attempt)
+			if d < base/2 || d >= base {
+				t.Fatalf("readyBackoff(%d) = %v outside [%v, %v)", attempt, d, base/2, base)
+			}
+		}
+	}
+	// The cap engages: very late attempts never exceed it.
+	if d := readyBackoff(60); d >= readyBackoffCap {
+		t.Errorf("readyBackoff(60) = %v, want < %v", d, readyBackoffCap)
+	}
+}
+
+// TestWaitReadyFastServer pins the reason for the small backoff base: a
+// server that is already up is detected promptly, not after a fixed
+// 50 ms sleep quantum.
+func TestWaitReadyFastServer(t *testing.T) {
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Ready from the third poll on: the first retries use the
+		// millisecond-scale end of the backoff schedule.
+		if polls.Add(1) < 3 {
+			http.Error(w, "warming", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	start := time.Now()
+	if err := New(srv.URL).WaitReady(context.Background(), 5*time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("fast-ready server took %v to detect", elapsed)
+	}
+	if n := polls.Load(); n < 3 {
+		t.Errorf("only %d polls reached the server", n)
 	}
 }

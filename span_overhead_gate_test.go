@@ -1,0 +1,57 @@
+//go:build overheadgate
+
+package simdtree_test
+
+// Timing gate asserting the request-span layer's zero-cost-when-disabled
+// claim, the sibling of TestTracerOffOverheadGate: the span-off
+// StartRoot/Finish pair a rate-0 tracer executes around every operation
+// (the state of an untraced segload run, and of segserve between
+// samples) must cost less than 2% of the point lookup it wraps. The off
+// path is one atomic load plus nil checks; hotalloc proves it
+// allocation-free statically and TestSpanOffDriverGetIsAllocationFree
+// dynamically — this gate prices it.
+//
+// The pair's cost is measured directly, not as the difference of two
+// full wrapped-vs-bare loops: a ~200 ns memory-bound descent jitters by
+// more than 2% on shared hardware, so differencing two such loops
+// cannot resolve a single-digit-nanosecond addition, while the pair
+// alone — CPU-bound, no memory traffic — times stably. Timing
+// assertions still flake under extreme load, so this runs only with the
+// overheadgate build tag, from `make bench`:
+//
+//	go test -tags overheadgate -run '^TestSpanOffOverheadGate$' -count=1 .
+
+import (
+	"testing"
+
+	"repro/internal/reqtrace"
+)
+
+func runSpanOffPairBench(b *testing.B, tracer *reqtrace.Tracer) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tracer.StartRoot("read")
+		tracer.Finish(sp)
+	}
+}
+
+func TestSpanOffOverheadGate(t *testing.T) {
+	probes := traceBenchProbes()
+	tree := traceBenchTree()
+	tracer := reqtrace.NewTracer(0, 0) // spans off: StartRoot always nil
+
+	getNs := bestNsPerOp(func(b *testing.B) { runTraceBench(b, tree, probes) })
+	pairNs := bestNsPerOp(func(b *testing.B) { runSpanOffPairBench(b, tracer) })
+
+	if st := tracer.Stats(); st.Started != 0 {
+		t.Fatalf("span-off tracer started %d spans", st.Started)
+	}
+	overhead := pairNs / getNs * 100
+	t.Logf("span-off StartRoot+Finish %.2f ns/op over a %.1f ns/op Get: %.2f%% overhead",
+		pairNs, getNs, overhead)
+	if overhead > gateSlackPct {
+		t.Fatalf("span-off StartRoot+Finish costs %.2f ns/op, %.2f%% of a %.1f ns/op Get (bound %.1f%%)",
+			pairNs, overhead, getNs, gateSlackPct)
+	}
+}
