@@ -16,8 +16,14 @@
 #   make fuzz        - 5 s smoke run of every fuzz target
 #   make fmt         - fail if any file is not gofmt-clean
 #   make analyze     - build cmd/simdvet and run the repo's own analyzers
-#                      (hotalloc, nopanic, traceguard, evalmask) over
-#                      ./... via go vet -vettool, then govulncheck
+#                      (hotalloc, nopanic, traceguard, evalmask, atomicmix,
+#                      publishguard, ringmask) over ./... via go vet
+#                      -vettool, then govulncheck
+#   make invariants  - full test suite with -race and -tags=invariants:
+#                      the debug-build assertions in internal/invariants
+#                      (version-seq monotonicity, epoch-pin validation,
+#                      single-owner rotation) are compiled in and armed,
+#                      plus an assertion-armed MVCC stress run
 #   make staticcheck - staticcheck ./... (skips when the tool is absent)
 #   make govulncheck - govulncheck ./... (skips when the tool is absent)
 #   make trace-e2e   - request-span round-trip smoke (race-built): a
@@ -58,7 +64,7 @@ LOADTEST_ADDR ?= 127.0.0.1:18080
 # the same number of operations.
 WORKLOAD_SPEC ?= read=70,write=20,scan=5,batch=5;dist=zipfian:0.99;keys=100000;clients=8;ops=200000
 
-.PHONY: check vet fmt build test race stress fuzz loadtest bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-e2e trace-demo serve clean
+.PHONY: check vet fmt build test race stress invariants fuzz loadtest bench bench-diff bench-baseline analyze simdvet staticcheck govulncheck trace-e2e trace-demo serve clean
 
 check: vet fmt build race fuzz analyze
 
@@ -87,6 +93,19 @@ stress:
 	SIMDTREE_STRESS_OPS=$(STRESS_OPS) $(GO) test -race -count=2 -timeout 20m \
 		-run 'TestMVCCStressMixedLoad|TestSnapshotUnderConcurrentWrites' \
 		./internal/index/ -v
+
+# Debug build with runtime invariant checks compiled in (DESIGN.md §5c):
+# the -tags=invariants build arms the assertions in internal/invariants —
+# MVCC publish-sequence monotonicity, announce-then-validate epoch
+# pinning, single-owner window rotation — across the full suite under
+# the race detector, then re-runs the MVCC stress tests with the same
+# assertions armed. SIMDTREE_STRESS_OPS scales the stress budget the
+# same way `make stress` does.
+invariants:
+	$(GO) test -race -tags=invariants ./...
+	SIMDTREE_STRESS_OPS=$(STRESS_OPS) $(GO) test -race -tags=invariants -count=1 -timeout 20m \
+		-run 'TestMVCCStressMixedLoad|TestSnapshotUnderConcurrentWrites' \
+		./internal/index/
 
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \
@@ -143,13 +162,18 @@ bench-baseline:
 		-experiment mixed -spec '$(WORKLOAD_SPEC)' -json-append BENCH_baseline.json
 
 # The repo's own static-analysis suite (DESIGN.md §5c). simdvet is a
-# go-vet-compatible driver for four repo-specific analyzers: hotalloc
+# go-vet-compatible driver for seven repo-specific analyzers: hotalloc
 # (zero-alloc //simdtree:hotpath kernels), nopanic (no panics reachable
 # from exported API without //simdtree:allowpanic), traceguard
 # (*trace.Trace params nil-guarded before use), evalmask (bitmask
-# switches/tables cover the mask space or carry a bounds proof). This is
-# a hard gate: any diagnostic fails the build.
+# switches/tables cover the mask space or carry a bounds proof),
+# atomicmix (no mixed atomic/plain access to the same field),
+# publishguard (//simdtree:published values frozen after an atomic
+# store) and ringmask (lock-free rings prove pow2 capacity and mask
+# every slot index). This is a hard gate: any diagnostic fails the
+# build.
 analyze: simdvet
+	./bin/simdvet -list
 	$(GO) vet -vettool=$(CURDIR)/bin/simdvet ./...
 	@$(MAKE) --no-print-directory govulncheck
 

@@ -3,11 +3,15 @@
 //
 //	go vet -vettool=$(pwd)/bin/simdvet ./...
 //
-// and vets every package with the four repo-specific analyzers of
+// and vets every package with the seven repo-specific analyzers of
 // internal/analysis: hotalloc (zero-allocation hot paths), nopanic
 // (error-returning library paths), traceguard (nil-guarded trace
-// recording) and evalmask (exhaustive bitmask evaluation). See DESIGN.md
-// §5c for the invariants and the //simdtree: annotation grammar.
+// recording), evalmask (exhaustive bitmask evaluation), atomicmix (no
+// mixed atomic/plain field access), publishguard (//simdtree:published
+// values frozen after an atomic store) and ringmask (power-of-two ring
+// capacities, masked slot indexes). See DESIGN.md §5c for the invariants
+// and the //simdtree: annotation grammar. `simdvet -list` prints the
+// suite, one analyzer per line.
 //
 // The protocol, mirrored from golang.org/x/tools/go/analysis/unitchecker
 // without depending on it (the module is dependency-free): cmd/go queries
@@ -35,9 +39,12 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/evalmask"
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/nopanic"
+	"repro/internal/analysis/publishguard"
+	"repro/internal/analysis/ringmask"
 	"repro/internal/analysis/traceguard"
 )
 
@@ -48,6 +55,9 @@ var analyzers = []*analysis.Analyzer{
 	nopanic.Analyzer,
 	traceguard.Analyzer,
 	evalmask.Analyzer,
+	atomicmix.Analyzer,
+	publishguard.Analyzer,
+	ringmask.Analyzer,
 }
 
 // vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg for each
@@ -80,6 +90,7 @@ func main() {
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	version := fs.String("V", "", "print version and exit")
 	flagsOut := fs.Bool("flags", false, "print analyzer flags in JSON")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
@@ -96,6 +107,14 @@ func main() {
 		return
 	case *version != "":
 		fmt.Printf("%s version devel\n", progname)
+		return
+	case *list:
+		// Human-readable suite listing, used by `make analyze` to show
+		// which checks gate the build.
+		fmt.Printf("%s: %d analyzers\n", progname, len(analyzers))
+		for _, a := range analyzers {
+			fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+		}
 		return
 	case *flagsOut:
 		// go vet discovers pass-through flags with `simdvet -flags`.

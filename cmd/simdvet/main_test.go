@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+// TestRegistry pins the analyzer suite: exactly the seven repo analyzers,
+// each with a unique name (they double as go vet flag names), a non-empty
+// doc line, and a Run function. A new analyzer that is written but not
+// registered here never gates CI; this test turns that omission into a
+// failure.
+func TestRegistry(t *testing.T) {
+	want := []string{
+		"hotalloc",
+		"nopanic",
+		"traceguard",
+		"evalmask",
+		"atomicmix",
+		"publishguard",
+		"ringmask",
+	}
+	if len(analyzers) != len(want) {
+		t.Fatalf("got %d analyzers registered, want %d", len(analyzers), len(want))
+	}
+	seen := make(map[string]bool, len(analyzers))
+	for i, a := range analyzers {
+		if a.Name != want[i] {
+			t.Errorf("analyzers[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer name %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has an empty Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has a nil Run", a.Name)
+		}
+	}
+}

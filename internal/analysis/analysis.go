@@ -1,11 +1,12 @@
 // Package analysis is the repo's static-analysis framework: a minimal,
 // dependency-free mirror of the golang.org/x/tools/go/analysis API shape
 // (the module deliberately has no external dependencies, so it cannot use
-// the real thing). It carries the four repo-specific analyzers in its
-// subpackages — hotalloc, nopanic, traceguard, evalmask — which mechanize
-// the invariants the hot search kernels rely on; cmd/simdvet drives them
-// under go vet, and subpackage analysistest replays them over fixture
-// trees.
+// the real thing). It carries the seven repo-specific analyzers in its
+// subpackages — hotalloc, nopanic, traceguard, evalmask, atomicmix,
+// publishguard, ringmask — which mechanize the invariants the hot search
+// kernels and lock-free observability structures rely on; cmd/simdvet
+// drives them under go vet, and subpackage analysistest replays them over
+// fixture trees.
 //
 // The annotation grammar the analyzers understand (DESIGN.md §5c):
 //
@@ -18,6 +19,16 @@
 //	//simdtree:kernels <regexp>
 //	    Package-scoped, in any file: functions whose name matches the
 //	    regexp are search kernels and must carry //simdtree:hotpath.
+//	//simdtree:ownedinit
+//	    On a function's doc comment: the function owns its value
+//	    exclusively (pre-publication setup), so plain access to
+//	    atomically-accessed fields is legal there (atomicmix).
+//	//simdtree:published
+//	    On a type's doc comment: values are shared by atomically storing
+//	    a pointer and are frozen from that moment on (publishguard).
+//	//simdtree:prepublish
+//	    On a function's doc comment: a declared before-publication
+//	    mutator of a published type (publishguard).
 package analysis
 
 import (

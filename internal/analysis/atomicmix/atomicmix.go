@@ -1,0 +1,254 @@
+// Package atomicmix detects mixed atomic/plain access to a field — the
+// data race go vet's native checks cannot see. A field is "atomic" when
+// it is declared with a sync/atomic type (atomic.Uint64,
+// atomic.Pointer[T], ...) or when any code in the package passes its
+// address to a sync/atomic function (atomic.AddUint64(&x.f, 1)). Once a
+// field is atomic, every plain read or write of it anywhere else in the
+// package is a race with the atomic accesses and is flagged.
+//
+// Two access contexts stay legal:
+//
+//   - Construction. A function whose results include the owning struct
+//     type (its constructor by signature) still owns the value
+//     exclusively — nothing has been shared yet — so plain
+//     initialization there is fine.
+//   - Functions annotated //simdtree:ownedinit, the escape hatch for
+//     non-constructor pre-publication setup (reset helpers, pool
+//     recycling) where the caller guarantees exclusive ownership.
+//
+// Method calls on an atomic-typed field (x.f.Load()), address-taking
+// (&x.f), and — for fields holding slices/arrays of atomics — indexing,
+// len/cap, and range are the atomic API surface and are always allowed.
+//
+// The atomic package is matched by name rather than import path so the
+// analysistest fixtures (which cannot import the standard library) can
+// declare a stand-in package atomic.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports plain accesses to fields that are accessed atomically
+// elsewhere in the package.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "check that atomically accessed fields are never read or written plainly outside construction",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// An atomic stand-in (or sync/atomic itself) implements the atomic
+	// types with plain fields; the discipline applies to its users.
+	if pass.Pkg.Name() == "atomic" {
+		return nil
+	}
+	raw := rawAtomicFields(pass)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fn.Doc, "ownedinit") {
+				continue
+			}
+			check(pass, fn, raw)
+		}
+	}
+	return nil
+}
+
+// rawAtomicFields collects the plainly-typed struct fields whose address
+// is passed to a sync/atomic function anywhere in the package (including
+// test files: a test using atomic ops on a field makes the field atomic).
+func rawAtomicFields(pass *analysis.Pass) map[types.Object]bool {
+	fields := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					if fo := fieldObject(pass, sel); fo != nil {
+						fields[fo] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// isAtomicPkgCall reports whether call invokes a function of a package
+// named atomic (atomic.AddUint64, atomic.StorePointer, ...).
+func isAtomicPkgCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Name() == "atomic"
+}
+
+// check walks one function body flagging plain accesses to atomic fields
+// outside sanctioned positions.
+func check(pass *analysis.Pass, fn *ast.FuncDecl, raw map[types.Object]bool) {
+	ok := sanctioned(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, isSel := n.(*ast.SelectorExpr)
+		if !isSel || ok[sel] {
+			return true
+		}
+		fo := fieldObject(pass, sel)
+		if fo == nil || !isAtomicField(fo, raw) {
+			return true
+		}
+		owner := ownerTypeName(pass, sel)
+		if owner != nil && returnsOwner(pass, fn, owner) {
+			return true // constructor by signature: still exclusively owned
+		}
+		ownerName := "?"
+		if owner != nil {
+			ownerName = owner.Name()
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s of %s is accessed atomically elsewhere; plain access races it — use sync/atomic operations, or annotate the function //simdtree:ownedinit if it still owns the value exclusively",
+			sel.Sel.Name, ownerName)
+		return true
+	})
+}
+
+// sanctioned marks the selector positions that are part of the atomic
+// API surface: method-call receivers (x.f.Load()), address-taking
+// (&x.f, as sync/atomic functions require), and the container accesses
+// (index, len/cap, range) that reach individual atomics inside a
+// slice-or-array-of-atomics field.
+func sanctioned(pass *analysis.Pass, fn *ast.FuncDecl) map[ast.Expr]bool {
+	ok := make(map[ast.Expr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel {
+				ok[ast.Unparen(sel.X)] = true
+			}
+			if id, isID := ast.Unparen(n.Fun).(*ast.Ident); isID {
+				if b, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB && (b.Name() == "len" || b.Name() == "cap") {
+					for _, a := range n.Args {
+						ok[ast.Unparen(a)] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				ok[ast.Unparen(n.X)] = true
+			}
+		case *ast.IndexExpr:
+			ok[ast.Unparen(n.X)] = true
+		case *ast.RangeStmt:
+			ok[ast.Unparen(n.X)] = true
+		}
+		return true
+	})
+	return ok
+}
+
+// fieldObject resolves sel to the struct field it selects, or nil when
+// sel is not a field selection (method values, package-qualified names).
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAtomicField reports whether fo must only be accessed atomically:
+// it was collected as a raw atomic field, its type is declared in a
+// package named atomic, or it holds a slice/array of such types.
+func isAtomicField(fo *types.Var, raw map[types.Object]bool) bool {
+	if raw[fo] {
+		return true
+	}
+	t := fo.Type()
+	if isAtomicType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isAtomicType(u.Elem())
+	case *types.Array:
+		return isAtomicType(u.Elem())
+	}
+	return false
+}
+
+// isAtomicType reports whether t is a named type declared in a package
+// named atomic (atomic.Uint64, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "atomic"
+}
+
+// ownerTypeName returns the named type whose field sel selects, seen
+// through one pointer indirection.
+func ownerTypeName(pass *analysis.Pass, sel *ast.SelectorExpr) *types.TypeName {
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// returnsOwner reports whether fn's results include owner (as a value or
+// pointer) — the constructor-by-signature exemption.
+func returnsOwner(pass *analysis.Pass, fn *ast.FuncDecl, owner *types.TypeName) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, fld := range fn.Type.Results.List {
+		t := pass.TypesInfo.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() == owner {
+			return true
+		}
+	}
+	return false
+}

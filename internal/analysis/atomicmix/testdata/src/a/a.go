@@ -1,0 +1,67 @@
+// Package a seeds atomicmix violations: fields accessed atomically in
+// one place and plainly in another.
+package a
+
+import "atomic"
+
+type counter struct {
+	// hits is raw but atomically accessed (bump); cold is never atomic.
+	hits uint64
+	cold uint64
+	// gauge is atomic-typed.
+	gauge atomic.Uint64
+}
+
+// newCounter is the constructor by signature: it still owns the value
+// exclusively, so plain initialization is legal.
+func newCounter() *counter {
+	c := &counter{}
+	c.hits = 1
+	c.gauge.Store(0)
+	return c
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) races() uint64 {
+	c.hits++    // want `field hits of counter is accessed atomically elsewhere`
+	v := c.hits // want `field hits of counter is accessed atomically elsewhere`
+	c.cold++    // plain-only field: fine
+	return v
+}
+
+func (c *counter) copyGauge() atomic.Uint64 {
+	return c.gauge // want `field gauge of counter is accessed atomically elsewhere`
+}
+
+func (c *counter) loadGauge() uint64 {
+	return c.gauge.Load() // method call on the atomic value: fine
+}
+
+func (c *counter) gaugeAddr() *atomic.Uint64 {
+	return &c.gauge // address-taking: fine
+}
+
+// reset recycles a counter the pool owns exclusively; the directive is
+// the non-constructor escape hatch.
+//
+//simdtree:ownedinit
+func (c *counter) reset() {
+	c.hits = 0
+	c.cold = 0
+}
+
+type ring struct {
+	slots []atomic.Pointer[counter]
+	seq   atomic.Uint64
+}
+
+func (r *ring) get(i uint64) *counter {
+	return r.slots[i&uint64(len(r.slots)-1)].Load() // index, len, method: all fine
+}
+
+func (r *ring) steal() []atomic.Pointer[counter] {
+	return r.slots // want `field slots of ring is accessed atomically elsewhere`
+}

@@ -1,0 +1,35 @@
+// Package atomic is a fixture stand-in for sync/atomic: the analyzers
+// match the package by name, so these minimal shapes are enough.
+package atomic
+
+type Uint64 struct{ v uint64 }
+
+func (x *Uint64) Load() uint64 { return x.v }
+
+func (x *Uint64) Store(v uint64) { x.v = v }
+
+func (x *Uint64) Add(d uint64) uint64 {
+	x.v += d
+	return x.v
+}
+
+type Pointer[T any] struct{ v *T }
+
+func (p *Pointer[T]) Load() *T { return p.v }
+
+func (p *Pointer[T]) Store(x *T) { p.v = x }
+
+func (p *Pointer[T]) Swap(x *T) *T {
+	old := p.v
+	p.v = x
+	return old
+}
+
+func LoadUint64(addr *uint64) uint64 { return *addr }
+
+func StoreUint64(addr *uint64, v uint64) { *addr = v }
+
+func AddUint64(addr *uint64, d uint64) uint64 {
+	*addr += d
+	return *addr
+}

@@ -1,0 +1,52 @@
+// Package b is the clean fixture: every atomic field is accessed only
+// through the atomic API outside its constructor, so atomicmix reports
+// nothing.
+package b
+
+import "atomic"
+
+type gauge struct {
+	level atomic.Uint64
+	raw   uint64
+	name  string
+}
+
+func newGauge(name string) *gauge {
+	g := &gauge{name: name}
+	g.raw = 1 // constructor: exclusive ownership
+	g.level.Store(0)
+	return g
+}
+
+func (g *gauge) set(v uint64) {
+	g.level.Store(v)
+	atomic.StoreUint64(&g.raw, v)
+}
+
+func (g *gauge) read() uint64 {
+	return g.level.Load() + atomic.LoadUint64(&g.raw)
+}
+
+func (g *gauge) label() string {
+	return g.name // never atomic: plain access is fine
+}
+
+type shards struct {
+	counts []atomic.Uint64
+}
+
+func newShards(n int) *shards {
+	return &shards{counts: make([]atomic.Uint64, n)}
+}
+
+func (s *shards) sum() uint64 {
+	var total uint64
+	for i := range s.counts {
+		total += s.counts[i].Load()
+	}
+	return total
+}
+
+func (s *shards) size() int {
+	return len(s.counts)
+}

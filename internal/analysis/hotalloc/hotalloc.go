@@ -6,12 +6,16 @@
 // literals (closure captures), interface boxing, or allocating string
 // conversions.
 //
-// One escape hatch is built in: blocks guarded by a `tr != nil` check on
-// a *trace.Trace value are the traced path of a shared kernel (PR 3's
+// Two escape hatches are built in. Blocks guarded by a `tr != nil` check
+// on a *trace.Trace value are the traced path of a shared kernel (PR 3's
 // traced==untraced invariant) and may allocate — the zero-alloc contract
 // covers the untraced Get, which never enters them. The complementary
 // guard `if tr == nil { ... }` keeps its then-branch checked (that IS the
-// untraced path) and exempts its else-branch.
+// untraced path) and exempts its else-branch. Blocks guarded by
+// `if invariants.Enabled { ... }` are debug-build assertions: without
+// -tags=invariants, Enabled is the constant false and the compiler
+// deletes the block, so its contents (including boxing Assertf calls)
+// never run on a release hot path.
 //
 // The package-scoped //simdtree:kernels <regexp> directive closes the
 // loop: any function whose display name ("Recv.Name" for methods)
@@ -92,7 +96,7 @@ func (c *checker) checkNode(root ast.Node) {
 	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.IfStmt:
-			if c.checkTraceIf(n) {
+			if c.checkInvariantsIf(n) || c.checkTraceIf(n) {
 				return false // children already handled
 			}
 		case *ast.DeferStmt:
@@ -161,6 +165,34 @@ func (c *checker) checkTraceIf(n *ast.IfStmt) bool {
 		c.checkNode(n.Body)
 	} else if n.Else != nil {
 		// if tr != nil { traced path } else { still hot }
+		c.checkNode(n.Else)
+	}
+	return true
+}
+
+// checkInvariantsIf prunes `if invariants.Enabled { ... }` debug-build
+// assertion blocks: with the invariants tag off, Enabled is the constant
+// false and dead-code elimination removes the block entirely, so nothing
+// inside it costs the release hot path. The else branch (if any) is the
+// release path and stays checked. It reports true when n was such a
+// guard and its children were traversed here.
+func (c *checker) checkInvariantsIf(n *ast.IfStmt) bool {
+	sel, ok := ast.Unparen(n.Cond).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Enabled" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Name() != "invariants" {
+		return false
+	}
+	if n.Init != nil {
+		c.checkNode(n.Init)
+	}
+	if n.Else != nil {
 		c.checkNode(n.Else)
 	}
 	return true

@@ -2,7 +2,10 @@
 // carries exactly the allocation sources its name says.
 package a
 
-import "trace"
+import (
+	"invariants"
+	"trace"
+)
 
 // sink keeps results alive without more allocations.
 var sink interface{}
@@ -100,6 +103,31 @@ func hotStringConcat(a, b string) string {
 //simdtree:hotpath
 func hotStringConv(b []byte) string {
 	return string(b) // want `string conversion`
+}
+
+// hotInvariants allocates (boxes Assertf arguments) only inside the
+// `if invariants.Enabled` block, which is dead code without
+// -tags=invariants — allowed.
+//
+//simdtree:hotpath
+func hotInvariants(xs []int, v int) int {
+	pos := hotClean(xs, v)
+	if invariants.Enabled {
+		invariants.Assertf(pos <= len(xs), "pos %d beyond %d", pos, len(xs))
+	}
+	return pos
+}
+
+// hotInvariantsElse allocates on the release side of the guard — flagged.
+//
+//simdtree:hotpath
+func hotInvariantsElse(xs []int, v int) []int {
+	if invariants.Enabled {
+		invariants.Assert(v >= 0, "negative v")
+	} else {
+		xs = append(xs, v) // want `append`
+	}
+	return xs
 }
 
 // hotTraced allocates only on the traced path, inside the recognized

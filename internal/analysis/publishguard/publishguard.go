@@ -1,0 +1,444 @@
+// Package publishguard enforces the freeze-after-publish discipline of
+// the repo's lock-free structures: a value of a type annotated
+// //simdtree:published is shared by storing a pointer to it through an
+// atomic pointer (atomic.Pointer.Store/Swap/CompareAndSwap), after which
+// concurrent readers load it without synchronization — so no write may
+// ever follow the store. Two rules apply, both package-local (the
+// directive lives in a comment, which is invisible across package
+// boundaries):
+//
+//   - Field writes. Any write to a field of a published type must sit in
+//     a function annotated //simdtree:prepublish (a declared
+//     before-publication mutator) or in the type's constructor by
+//     signature (a function whose results include the type). Everything
+//     else is assumed to run after the value may have been shared.
+//
+//   - Post-store dataflow. Inside one function, once a pointer held in a
+//     local has been stored through an atomic Store/Swap/CompareAndSwap,
+//     any later write through that local or one of its aliases — and any
+//     call of a //simdtree:prepublish method on it — is flagged.
+//     Rebinding the local to a fresh value (sp = newSpan()) clears its
+//     tracking.
+//
+// The atomic package is matched by name so analysistest fixtures can
+// declare a stand-in.
+package publishguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports mutation of //simdtree:published values outside the
+// pre-publication window.
+var Analyzer = &analysis.Analyzer{
+	Name: "publishguard",
+	Doc:  "check that //simdtree:published values are frozen once stored through an atomic pointer",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pub := publishedTypes(pass)
+	pre := prepublishFuncs(pass)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if len(pub) > 0 && !analysis.HasDirective(fn.Doc, "prepublish") {
+				checkFieldWrites(pass, fn, pub)
+			}
+			checkPostStore(pass, fn, pre)
+		}
+	}
+	return nil
+}
+
+// publishedTypes collects the package's types annotated
+// //simdtree:published. The directive may sit on the TypeSpec or (the
+// common single-spec form) on the enclosing GenDecl.
+func publishedTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	pub := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !analysis.HasDirective(doc, "published") {
+					continue
+				}
+				if obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					pub[obj] = true
+				}
+			}
+		}
+	}
+	return pub
+}
+
+// prepublishFuncs collects the objects of functions annotated
+// //simdtree:prepublish, so post-store calls to them can be flagged.
+func prepublishFuncs(pass *analysis.Pass) map[types.Object]bool {
+	pre := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.HasDirective(fn.Doc, "prepublish") {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+				pre[obj] = true
+			}
+		}
+	}
+	return pre
+}
+
+// checkFieldWrites applies the field-write rule to one unannotated
+// function: writes to fields of published types are flagged unless fn is
+// the type's constructor by signature.
+func checkFieldWrites(pass *analysis.Pass, fn *ast.FuncDecl, pub map[*types.TypeName]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flagWrite(pass, fn, pub, lhs)
+			}
+		case *ast.IncDecStmt:
+			flagWrite(pass, fn, pub, n.X)
+		}
+		return true
+	})
+}
+
+// flagWrite peels one assignment target down through selectors, indexes,
+// and dereferences; a published-typed base anywhere in the chain makes
+// the write a mutation of a published value.
+func flagWrite(pass *analysis.Pass, fn *ast.FuncDecl, pub map[*types.TypeName]bool, lhs ast.Expr) {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if tn := publishedBase(pass, pub, e.X); tn != nil {
+				if returnsOwner(pass, fn, tn) {
+					return // constructor: the value is not yet shared
+				}
+				pass.Reportf(e.Pos(),
+					"write to field %s of //simdtree:published type %s outside a //simdtree:prepublish function; published values are frozen",
+					e.Sel.Name, tn.Name())
+				return
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			if tn := publishedBase(pass, pub, e.X); tn != nil {
+				if returnsOwner(pass, fn, tn) {
+					return
+				}
+				pass.Reportf(e.Pos(),
+					"write through *%s outside a //simdtree:prepublish function; //simdtree:published values are frozen",
+					tn.Name())
+				return
+			}
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// publishedBase returns the published type of e (seen through one
+// pointer), or nil.
+func publishedBase(pass *analysis.Pass, pub map[*types.TypeName]bool, e ast.Expr) *types.TypeName {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !pub[named.Obj()] {
+		return nil
+	}
+	return named.Obj()
+}
+
+// returnsOwner reports whether fn's results include owner (value or
+// pointer) — the constructor-by-signature exemption.
+func returnsOwner(pass *analysis.Pass, fn *ast.FuncDecl, owner *types.TypeName) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, fld := range fn.Type.Results.List {
+		t := pass.TypesInfo.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPostStore applies the post-store dataflow rule within one
+// function body.
+func checkPostStore(pass *analysis.Pass, fn *ast.FuncDecl, pre map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	// stores[obj] is the source positions at which obj's pointee was
+	// published, with the atomic method's name for the diagnostic.
+	type store struct {
+		pos    token.Pos
+		method string
+	}
+	var stores []struct {
+		obj types.Object
+		store
+	}
+	// aliasOf is a union-find over the function's pointer-typed locals.
+	aliasOf := make(map[types.Object]types.Object)
+	var find func(o types.Object) types.Object
+	find = func(o types.Object) types.Object {
+		if aliasOf[o] == nil || aliasOf[o] == o {
+			return o
+		}
+		r := find(aliasOf[o])
+		aliasOf[o] = r
+		return r
+	}
+	union := func(a, b types.Object) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			aliasOf[ra] = rb
+		}
+	}
+	// rebinds[obj] is the positions at which obj was reassigned to
+	// something other than an existing alias, clearing its tracking.
+	rebinds := make(map[types.Object][]token.Pos)
+
+	localPtr := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil
+		}
+		ptr, ok := v.Type().(*types.Pointer)
+		if !ok {
+			return nil
+		}
+		if _, ok := ptr.Elem().(*types.Named); !ok {
+			return nil
+		}
+		return v
+	}
+
+	// Pass one: collect stores, aliases, and rebinds.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			method, arg := atomicPublish(pass, n)
+			if arg == nil {
+				return true
+			}
+			if obj := localPtr(arg); obj != nil {
+				stores = append(stores, struct {
+					obj types.Object
+					store
+				}{obj, store{pos: n.End(), method: method}})
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				dst := localPtr(lhs)
+				if dst == nil {
+					continue
+				}
+				if src := localPtr(n.Rhs[i]); src != nil {
+					union(dst, src) // alias: q := sp
+				} else {
+					rebinds[dst] = append(rebinds[dst], n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	if len(stores) == 0 {
+		return
+	}
+	for _, rs := range rebinds {
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	}
+
+	// frozen reports whether obj, accessed at pos, was published earlier
+	// with no intervening rebind of obj itself.
+	frozen := func(obj types.Object, pos token.Pos) (store, bool) {
+		root := find(obj)
+		for _, s := range stores {
+			if find(s.obj) != root || s.pos >= pos {
+				continue
+			}
+			cleared := false
+			for _, r := range rebinds[obj] {
+				if r > s.pos && r < pos {
+					cleared = true
+					break
+				}
+			}
+			if !cleared {
+				return s.store, true
+			}
+		}
+		return store{}, false
+	}
+
+	// Pass two: flag post-store writes and prepublish-method calls.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if obj := writtenBase(info, lhs); obj != nil {
+					if s, ok := frozen(obj, lhs.Pos()); ok {
+						pass.Reportf(lhs.Pos(),
+							"write through %s after it was published via atomic %s; published values are frozen",
+							obj.Name(), s.method)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := writtenBase(info, n.X); obj != nil {
+				if s, ok := frozen(obj, n.Pos()); ok {
+					pass.Reportf(n.Pos(),
+						"write through %s after it was published via atomic %s; published values are frozen",
+						obj.Name(), s.method)
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := localPtr(sel.X)
+			if obj == nil {
+				return true
+			}
+			msel, ok := info.Selections[sel]
+			if !ok || !pre[msel.Obj()] {
+				return true
+			}
+			if s, ok := frozen(obj, n.Pos()); ok {
+				pass.Reportf(n.Pos(),
+					"call to //simdtree:prepublish method %s on %s after it was published via atomic %s",
+					sel.Sel.Name, obj.Name(), s.method)
+			}
+		}
+		return true
+	})
+}
+
+// writtenBase resolves an assignment target to the local pointer ident
+// the write goes through (sp in sp.X.Y[i] = v), or nil for writes not
+// rooted in a tracked local — a field write, not a rebind of the local
+// itself.
+func writtenBase(info *types.Info, lhs ast.Expr) types.Object {
+	sawField := false
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			sawField = true
+			lhs = e.X
+		case *ast.IndexExpr:
+			sawField = true
+			lhs = e.X
+		case *ast.StarExpr:
+			sawField = true
+			lhs = e.X
+		case *ast.Ident:
+			if !sawField {
+				return nil // plain rebind, handled as such
+			}
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				if _, ok := v.Type().(*types.Pointer); ok {
+					return v
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// atomicPublish recognizes a publication call — Store, Swap, or
+// CompareAndSwap on a value of a type declared in a package named atomic
+// — and returns the method name and the expression being published.
+func atomicPublish(pass *analysis.Pass, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	name := sel.Sel.Name
+	var argIdx int
+	switch name {
+	case "Store", "Swap":
+		argIdx = 0
+	case "CompareAndSwap":
+		argIdx = 1
+	default:
+		return "", nil
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return "", nil
+	}
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "atomic" {
+		return "", nil
+	}
+	if argIdx >= len(call.Args) {
+		return "", nil
+	}
+	return name, call.Args[argIdx]
+}

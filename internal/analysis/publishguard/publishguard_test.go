@@ -1,0 +1,12 @@
+package publishguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/publishguard"
+)
+
+func TestPublishguard(t *testing.T) {
+	analysistest.Run(t, "testdata", publishguard.Analyzer, "a", "b")
+}

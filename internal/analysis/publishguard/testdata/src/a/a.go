@@ -1,0 +1,86 @@
+// Package a seeds publishguard violations: writes to published values
+// outside the pre-publication window and writes after an atomic store.
+package a
+
+import "atomic"
+
+// Msg is frozen once a pointer to it is atomically stored.
+//
+//simdtree:published
+type Msg struct {
+	ID   uint64
+	Note string
+	Tags []string
+}
+
+type box struct {
+	cur atomic.Pointer[Msg]
+	seq atomic.Uint64
+}
+
+// newMsg is Msg's constructor by signature: plain field writes are
+// legal, nothing is shared yet.
+func newMsg(id uint64) *Msg {
+	m := &Msg{}
+	m.ID = id
+	return m
+}
+
+// setNote is a declared before-publication mutator.
+//
+//simdtree:prepublish
+func (m *Msg) setNote(s string) { m.Note = s }
+
+// stamp lacks the prepublish annotation, so its write is assumed to run
+// after the value may have been shared.
+func stamp(m *Msg) {
+	m.ID = 7 // want `write to field ID of //simdtree:published type Msg`
+}
+
+func deepWrite(m *Msg) {
+	m.Tags[0] = "x" // want `write to field Tags of //simdtree:published type Msg`
+}
+
+//simdtree:prepublish
+func (b *box) publishAndTouch(m *Msg) {
+	m.Note = "pre" // fine: before the store
+	b.cur.Store(m)
+	m.Note = "post"    // want `write through m after it was published via atomic Store`
+	m.setNote("post2") // want `call to //simdtree:prepublish method setNote on m after it was published via atomic Store`
+}
+
+//simdtree:prepublish
+func (b *box) publishAlias(m *Msg) {
+	q := m
+	b.cur.Store(m)
+	q.ID = 1 // want `write through q after it was published via atomic Store`
+}
+
+//simdtree:prepublish
+func (b *box) swapIt(m *Msg) {
+	old := b.cur.Swap(m)
+	m.ID = 3 // want `write through m after it was published via atomic Swap`
+	_ = old
+}
+
+//simdtree:prepublish
+func (b *box) casIt(old, m *Msg) {
+	if b.cur.CompareAndSwap(old, m) {
+		m.ID = 4 // want `write through m after it was published via atomic CompareAndSwap`
+	}
+}
+
+//simdtree:prepublish
+func (b *box) rebindIsFine(m *Msg) {
+	b.cur.Store(m)
+	m = newMsg(1)
+	m.ID = 2 // fine: m was rebound to a fresh, unshared value
+	b.cur.Store(m)
+}
+
+//simdtree:prepublish
+func (b *box) readsAreFine(m *Msg) uint64 {
+	b.cur.Store(m)
+	b.seq.Store(m.ID) // fine: reads after publication are the point
+	return m.ID
+}

@@ -1,0 +1,34 @@
+// Package atomic is a fixture stand-in for sync/atomic: the analyzers
+// match the package by name, so these minimal shapes are enough.
+package atomic
+
+type Pointer[T any] struct{ v *T }
+
+func (p *Pointer[T]) Load() *T { return p.v }
+
+func (p *Pointer[T]) Store(x *T) { p.v = x }
+
+func (p *Pointer[T]) Swap(x *T) *T {
+	old := p.v
+	p.v = x
+	return old
+}
+
+func (p *Pointer[T]) CompareAndSwap(old, new *T) bool {
+	if p.v == old {
+		p.v = new
+		return true
+	}
+	return false
+}
+
+type Uint64 struct{ v uint64 }
+
+func (x *Uint64) Load() uint64 { return x.v }
+
+func (x *Uint64) Store(v uint64) { x.v = v }
+
+func (x *Uint64) Add(d uint64) uint64 {
+	x.v += d
+	return x.v
+}

@@ -1,0 +1,53 @@
+// Package b is the clean fixture: published values are mutated only in
+// constructors and //simdtree:prepublish functions, and never after an
+// atomic store, so publishguard reports nothing.
+package b
+
+import "atomic"
+
+// Snapshot is immutable once the holder publishes it.
+//
+//simdtree:published
+type Snapshot struct {
+	Seq  uint64
+	Keys []uint64
+}
+
+type holder struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+func newSnapshot(seq uint64, n int) *Snapshot {
+	s := &Snapshot{Seq: seq}
+	s.Keys = make([]uint64, n)
+	return s
+}
+
+//simdtree:prepublish
+func (s *Snapshot) fill(keys []uint64) {
+	copy(s.Keys, keys)
+}
+
+//simdtree:prepublish
+func (h *holder) publish(keys []uint64) {
+	next := newSnapshot(1, len(keys))
+	next.fill(keys)
+	h.cur.Store(next)
+}
+
+func (h *holder) read() uint64 {
+	s := h.cur.Load()
+	if s == nil {
+		return 0
+	}
+	return s.Seq // reads of published values are always fine
+}
+
+// unrelated types are not constrained at all.
+type scratch struct {
+	n int
+}
+
+func (s *scratch) bump() {
+	s.n++
+}

@@ -1,0 +1,16 @@
+// Package pow2 is a fixture stand-in for the repo's pow2 helper; the
+// ringmask analyzer matches it by package name.
+package pow2
+
+func CeilCap(n, min int) int {
+	c := 1
+	for c < min {
+		c <<= 1
+	}
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+func Is(n int) bool { return n > 0 && n&(n-1) == 0 }

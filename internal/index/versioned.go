@@ -7,8 +7,10 @@ import (
 	"time"
 	"unsafe"
 
+	"repro/internal/invariants"
 	"repro/internal/keys"
 	"repro/internal/obs"
+	"repro/internal/pow2"
 	"repro/internal/shape"
 	"repro/internal/trace"
 )
@@ -66,6 +68,15 @@ type Versioned[K keys.Key, V any] struct {
 // version is one published, immutable tree state. The sequence number
 // starts at 1 (0 marks a free epoch slot) and increases by one per
 // published mutation.
+//
+// Once stored into x.current a version is frozen — that is the whole
+// MVCC contract (DESIGN.md §6): lock-free readers validate the pointer
+// and then dereference without synchronization, which is only sound if
+// no write ever follows the publish. The publishguard analyzer enforces
+// the freeze statically; the invariants build re-checks the sequence
+// discipline dynamically.
+//
+//simdtree:published
 type version[K keys.Key, V any] struct {
 	tree Index[K, V]
 	seq  uint64
@@ -103,14 +114,7 @@ func NewVersioned[K keys.Key, V any](newIndex func() Index[K, V]) *Versioned[K, 
 		panic("index: NewVersioned requires an index constructor") //simdtree:allowpanic construction contract, documented above
 	}
 	x := &Versioned[K, V]{newIndex: newIndex}
-	n := 8 * runtime.GOMAXPROCS(0)
-	if n < 64 {
-		n = 64
-	}
-	size := 1
-	for size < n {
-		size <<= 1
-	}
+	size := pow2.CeilCap(8*runtime.GOMAXPROCS(0), 64)
 	x.slots = make([]epochSlot, size)
 	x.slotMask = uint32(size - 1)
 	x.spare = newIndex()
@@ -175,6 +179,10 @@ func (x *Versioned[K, V]) pin() (*version[K, V], *epochSlot) {
 				for {
 					cur := x.current.Load()
 					if cur == v {
+						if invariants.Enabled {
+							invariants.Assert(v.seq != 0, "pinned version has zero sequence")
+							invariants.Assert(s.epoch.Load() == v.seq, "epoch slot does not announce the pinned version")
+						}
 						return v, s
 					}
 					v = cur
@@ -377,6 +385,10 @@ func (x *Versioned[K, V]) writable() Index[K, V] {
 	if x.spare == nil {
 		x.adoptOrClone(cur)
 	}
+	if invariants.Enabled {
+		invariants.Assertf(x.spareSeq >= x.logBase && x.spareSeq <= cur.seq,
+			"spare at seq %d outside replayable range [%d, %d]", x.spareSeq, x.logBase, cur.seq)
+	}
 	for _, op := range x.log[x.spareSeq-x.logBase:] {
 		if op.del {
 			x.spare.Delete(op.key)
@@ -479,6 +491,11 @@ func (x *Versioned[K, V]) cloneTree(src Index[K, V]) Index[K, V] {
 func (x *Versioned[K, V]) publish(t Index[K, V], op logOp[K, V], start time.Time) {
 	cur := x.current.Load()
 	next := &version[K, V]{tree: t, seq: cur.seq + 1}
+	if invariants.Enabled {
+		invariants.Assertf(next.seq == cur.seq+1, "publish seq not monotone: %d -> %d", cur.seq, next.seq)
+		invariants.Assertf(x.spareSeq == cur.seq, "publishing a tree not caught up: spare at seq %d, current %d", x.spareSeq, cur.seq)
+		invariants.Assertf(x.logBase <= cur.seq, "replay log base %d beyond current seq %d", x.logBase, cur.seq)
+	}
 	x.current.Store(next)
 	x.retired = append(x.retired, cur)
 	x.spare = nil

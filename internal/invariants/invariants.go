@@ -1,0 +1,29 @@
+// Package invariants is the build-tagged runtime twin of the simdvet
+// concurrency analyzers (DESIGN.md §5c): the properties atomicmix,
+// publishguard and ringmask prove statically — single-owner rotation,
+// frozen-after-publish versions, masked ring indexing — are asserted
+// dynamically when the repo is built with
+//
+//	go test -race -tags=invariants ./...
+//
+// and compile to nothing otherwise. The pattern is the standard Go
+// debug-assert idiom: every assertion sits inside an
+//
+//	if invariants.Enabled { ... }
+//
+// block. Enabled is an untyped constant, so without the tag the whole
+// block — condition evaluation included — is dead code the compiler
+// deletes; the hot paths keep their AllocsPerRun == 0 and <2% overhead
+// gates byte-for-byte. With the tag, assertions panic with a message
+// naming the broken invariant, which the race-enabled CI job turns into
+// a failing test.
+//
+// hotalloc knows the idiom: an `if invariants.Enabled` block inside a
+// //simdtree:hotpath kernel is exempt from the zero-allocation check,
+// exactly like a trace nil-guard — the block exists only in debug
+// builds, which trade the allocation budget for checking.
+//
+// The declarations shared by both builds live here; Enabled, Assert,
+// Assertf and SingleOwner switch implementation on the build tag (see
+// on.go / off.go).
+package invariants

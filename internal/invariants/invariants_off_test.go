@@ -1,0 +1,41 @@
+//go:build !invariants
+
+package invariants
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestDisabledAssertionsAreNoOps(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the invariants build tag")
+	}
+	// Nothing may panic, whatever the condition.
+	Assert(false, "ignored")
+	Assertf(false, "ignored %d", 1)
+	var o SingleOwner
+	o.Enter("r")
+	o.Enter("r") // double entry: still a no-op
+	o.Exit()
+}
+
+func TestDisabledSingleOwnerIsZeroSize(t *testing.T) {
+	// The off-build SingleOwner must not grow the structs that embed it
+	// (WindowedHistogram, WindowedCounter).
+	if s := unsafe.Sizeof(SingleOwner{}); s != 0 {
+		t.Fatalf("SingleOwner size = %d without invariants tag, want 0", s)
+	}
+}
+
+func TestDisabledAssertDoesNotAllocate(t *testing.T) {
+	// The guarded-block idiom makes assertion sites disappear entirely,
+	// but even a direct call must stay allocation-free so a stray
+	// unguarded Assert cannot trip the hot-path gate.
+	n := testing.AllocsPerRun(100, func() {
+		Assert(true, "hot")
+	})
+	if n != 0 {
+		t.Fatalf("Assert allocated %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,42 @@
+//go:build invariants
+
+package invariants
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, wantSubstr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", wantSubstr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, wantSubstr) {
+			t.Fatalf("panic %v; want message containing %q", r, wantSubstr)
+		}
+	}()
+	fn()
+}
+
+func TestAssertPanicsWhenFalse(t *testing.T) {
+	Assert(true, "fine")
+	mustPanic(t, "seq went backwards", func() { Assert(false, "seq went backwards") })
+}
+
+func TestAssertfFormatsMessage(t *testing.T) {
+	Assertf(true, "fine %d", 1)
+	mustPanic(t, "seq 7 -> 3", func() { Assertf(false, "seq %d -> %d", 7, 3) })
+}
+
+func TestSingleOwnerDetectsConcurrentEntry(t *testing.T) {
+	var o SingleOwner
+	o.Enter("region")
+	mustPanic(t, "single-owner region region", func() { o.Enter("region") })
+	o.Exit()
+	o.Enter("region") // reusable after Exit
+	o.Exit()
+}

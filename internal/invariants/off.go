@@ -1,0 +1,25 @@
+//go:build !invariants
+
+package invariants
+
+// Enabled reports whether the binary was built with -tags=invariants.
+// As an untyped false constant it makes every `if invariants.Enabled`
+// block dead code: conditions are not evaluated, assertion arguments
+// are not built, hot paths stay allocation-free.
+const Enabled = false
+
+// Assert is a no-op without the invariants tag.
+func Assert(cond bool, msg string) {}
+
+// Assertf is a no-op without the invariants tag.
+func Assertf(cond bool, format string, args ...any) {}
+
+// SingleOwner is a zero-size placeholder without the invariants tag;
+// Enter/Exit compile to nothing.
+type SingleOwner struct{}
+
+// Enter is a no-op without the invariants tag.
+func (o *SingleOwner) Enter(name string) {}
+
+// Exit is a no-op without the invariants tag.
+func (o *SingleOwner) Exit() {}

@@ -1,0 +1,52 @@
+//go:build invariants
+
+package invariants
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Enabled reports whether the binary was built with -tags=invariants.
+const Enabled = true
+
+// Assert panics with msg when cond is false. Use inside an
+// `if invariants.Enabled` block on hot paths: the constant-string form
+// never allocates, so the debug build still passes the zero-alloc gate
+// on paths that hold their assertion to this form.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant violated: " + msg) //simdtree:allowpanic debug-build assertion, compiled out without -tags=invariants
+	}
+}
+
+// Assertf is Assert with a formatted message, for cold paths (the
+// publication and reclamation sides) where naming the offending values
+// is worth the boxing.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...)) //simdtree:allowpanic debug-build assertion, compiled out without -tags=invariants
+	}
+}
+
+// SingleOwner asserts that a code region is only ever occupied by one
+// goroutine at a time — the contract of WindowedHistogram.Rotate and
+// WindowedCounter.Rotate ("call from a single owner goroutine"). Embed
+// the zero value and bracket the region with Enter/Exit; two concurrent
+// Enters panic naming the region. Without the invariants tag the type
+// is empty and the calls are no-ops.
+type SingleOwner struct {
+	busy atomic.Int32
+}
+
+// Enter claims the region, panicking if another goroutine holds it.
+func (o *SingleOwner) Enter(name string) {
+	if !o.busy.CompareAndSwap(0, 1) {
+		panic("invariant violated: concurrent entry to single-owner region " + name) //simdtree:allowpanic debug-build assertion, compiled out without -tags=invariants
+	}
+}
+
+// Exit releases the region claimed by Enter.
+func (o *SingleOwner) Exit() {
+	o.busy.Store(0)
+}

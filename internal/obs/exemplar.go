@@ -11,6 +11,13 @@ import "fmt"
 // The trace identity is carried as two raw uint64 halves rather than a
 // reqtrace.TraceID so obs stays a leaf package with no tracing
 // dependency.
+//
+// An Exemplar is built complete and published through an
+// atomic.Pointer.Store (WindowedHistogram.ObserveExemplar); concurrent
+// /metrics readers then load it lock-free, so it must never be mutated
+// after the store. The publishguard analyzer enforces that freeze.
+//
+//simdtree:published
 type Exemplar struct {
 	TraceHi, TraceLo uint64
 	// NS is the observed latency in nanoseconds; always inside the

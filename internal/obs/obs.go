@@ -4,8 +4,9 @@
 // log-bucketed latency histograms and Prometheus/expvar exposition.
 //
 // The package sits below every structure package — it imports only the
-// standard library — so internal/simd, internal/bitmask, internal/kary and
-// the tree packages can all place hooks without import cycles.
+// standard library plus the leaf helpers internal/pow2 and
+// internal/invariants — so internal/simd, internal/bitmask, internal/kary
+// and the tree packages can all place hooks without import cycles.
 //
 // Hooks are package-level functions (SIMDComparisons, NodeVisits, ...)
 // guarded by one global atomic pointer. When no Counters is enabled the

@@ -4,6 +4,9 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/invariants"
+	"repro/internal/pow2"
 )
 
 // This file adds the *recent-window* half of the latency story. Histogram
@@ -42,6 +45,10 @@ type WindowedHistogram struct {
 	cur    atomic.Uint64
 	tick   time.Duration
 
+	// rotateOwner asserts the single-owner Rotate contract in
+	// -tags=invariants builds; zero-size and no-op otherwise.
+	rotateOwner invariants.SingleOwner
+
 	// exemplars[i] is the most recent sampled observation that landed in
 	// bucket i, or nil. Exemplars are per-bucket, not per-epoch: they are
 	// debugging breadcrumbs ("which trace last paid this latency"), not
@@ -59,10 +66,7 @@ func NewWindowedHistogram(tick time.Duration, epochs int) *WindowedHistogram {
 	if tick <= 0 {
 		tick = time.Second
 	}
-	c := 2
-	for c < epochs {
-		c <<= 1
-	}
+	c := pow2.CeilCap(epochs, 2)
 	return &WindowedHistogram{epochs: make([]Histogram, c), mask: uint64(c - 1), tick: tick}
 }
 
@@ -119,13 +123,23 @@ func (w *WindowedHistogram) Exemplars() [histBuckets]*Exemplar {
 // Rotate closes the current epoch: the oldest slot is zeroed and becomes
 // the new current epoch. Call it from a single owner goroutine every
 // Tick(). (Single-owner is why this is a plain load+store, not an Add:
-// the reset must be published before the index moves.)
+// the reset must be published before the index moves.) In
+// -tags=invariants builds, concurrent Rotates and a reset aliasing the
+// live epoch — the two ways rotation could race Observe — both panic.
 //
 //simdtree:hotpath
 func (w *WindowedHistogram) Rotate() {
+	w.rotateOwner.Enter("WindowedHistogram.Rotate")
 	next := w.cur.Load() + 1
+	if invariants.Enabled {
+		// The slot being reset must never be the one Observe is writing:
+		// guaranteed by the >= 2 ring minimum, re-proven here.
+		invariants.Assert(next&w.mask != w.cur.Load()&w.mask,
+			"WindowedHistogram.Rotate would reset the live epoch (ring too small)")
+	}
 	w.epochs[next&w.mask].Reset()
 	w.cur.Store(next)
+	w.rotateOwner.Exit()
 }
 
 // ReadWindow merges the most recent ⌈window/tick⌉ epochs — always
@@ -159,6 +173,10 @@ type WindowedCounter struct {
 	mask   uint64
 	cur    atomic.Uint64
 	tick   time.Duration
+
+	// rotateOwner asserts the single-owner Rotate contract in
+	// -tags=invariants builds; zero-size and no-op otherwise.
+	rotateOwner invariants.SingleOwner
 }
 
 // NewWindowedCounter returns a counter windowed over epochs ticks of the
@@ -167,10 +185,7 @@ func NewWindowedCounter(tick time.Duration, epochs int) *WindowedCounter {
 	if tick <= 0 {
 		tick = time.Second
 	}
-	c := 2
-	for c < epochs {
-		c <<= 1
-	}
+	c := pow2.CeilCap(epochs, 2)
 	return &WindowedCounter{epochs: make([]atomic.Uint64, c), mask: uint64(c - 1), tick: tick}
 }
 
@@ -185,13 +200,19 @@ func (w *WindowedCounter) Add(n uint64) {
 }
 
 // Rotate closes the current epoch; single-owner, like
-// WindowedHistogram.Rotate.
+// WindowedHistogram.Rotate, with the same invariants-build checks.
 //
 //simdtree:hotpath
 func (w *WindowedCounter) Rotate() {
+	w.rotateOwner.Enter("WindowedCounter.Rotate")
 	next := w.cur.Load() + 1
+	if invariants.Enabled {
+		invariants.Assert(next&w.mask != w.cur.Load()&w.mask,
+			"WindowedCounter.Rotate would reset the live epoch (ring too small)")
+	}
 	w.epochs[next&w.mask].Store(0)
 	w.cur.Store(next)
+	w.rotateOwner.Exit()
 }
 
 // ReadWindow sums the most recent ⌈window/tick⌉ epochs, including the

@@ -1,0 +1,65 @@
+package pow2
+
+import "testing"
+
+func TestCeilCap(t *testing.T) {
+	cases := []struct {
+		n, min, want int
+	}{
+		{0, 1, 1},
+		{1, 1, 1},
+		{2, 1, 2},
+		{3, 1, 4},
+		{17, 1, 32},
+		{256, 1, 256},
+		{257, 1, 512},
+		{0, 2, 2},
+		{1, 2, 2},
+		{3, 2, 4},
+		{0, 64, 64},
+		{100, 64, 128},
+		{-5, 1, 1},   // negative capacity degrades to the minimum
+		{-5, 64, 64}, // ... or the larger minimum
+		{5, 3, 8},    // non-pow2 min is itself rounded up
+		{MaxCap, 1, MaxCap},
+		{MaxCap + 1, 1, MaxCap}, // clamped, never overflowing the doubling
+		{1 << 62, 1, MaxCap},
+	}
+	for _, c := range cases {
+		if got := CeilCap(c.n, c.min); got != c.want {
+			t.Errorf("CeilCap(%d, %d) = %d, want %d", c.n, c.min, got, c.want)
+		}
+	}
+}
+
+func TestCeilCapAlwaysValid(t *testing.T) {
+	// Every return value must be a usable ring capacity: a power of two
+	// not below the (rounded) minimum.
+	for n := -3; n < 1000; n += 7 {
+		for _, min := range []int{1, 2, 64} {
+			c := CeilCap(n, min)
+			if !Is(c) {
+				t.Fatalf("CeilCap(%d, %d) = %d: not a power of two", n, min, c)
+			}
+			if c < min {
+				t.Fatalf("CeilCap(%d, %d) = %d: below minimum", n, min, c)
+			}
+			if n <= MaxCap && n > 0 && c < n {
+				t.Fatalf("CeilCap(%d, %d) = %d: below requested capacity", n, min, c)
+			}
+		}
+	}
+}
+
+func TestIs(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 64, 1 << 20, MaxCap} {
+		if !Is(n) {
+			t.Errorf("Is(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int{0, -1, -2, 3, 6, 12, MaxCap - 1} {
+		if Is(n) {
+			t.Errorf("Is(%d) = true, want false", n)
+		}
+	}
+}

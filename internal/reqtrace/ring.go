@@ -1,6 +1,10 @@
 package reqtrace
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/pow2"
+)
 
 // Ring is a lock-free fixed-capacity ring of finished spans — the
 // trace.Ring pattern applied to request spans. Writers claim a slot with
@@ -9,6 +13,10 @@ import "sync/atomic"
 // either the old or the new span — both complete — so a snapshot is
 // always well-formed, merely approximate about which N spans are "the
 // latest".
+//
+// The capacity/mask pairing is the repo-wide pow2 idiom the ringmask
+// analyzer enforces: cap comes from pow2.CeilCap, every slot index is
+// `seq & mask`.
 type Ring struct {
 	slots []atomic.Pointer[Span]
 	mask  uint64
@@ -18,10 +26,7 @@ type Ring struct {
 // NewRing returns a ring holding the most recent capacity spans, rounded
 // up to a power of two (minimum 1).
 func NewRing(capacity int) *Ring {
-	c := 1
-	for c < capacity {
-		c <<= 1
-	}
+	c := pow2.CeilCap(capacity, 1)
 	return &Ring{slots: make([]atomic.Pointer[Span], c), mask: uint64(c - 1)}
 }
 
@@ -33,6 +38,9 @@ func (r *Ring) Cap() int { return len(r.slots) }
 func (r *Ring) Total() uint64 { return r.seq.Load() }
 
 // Add stores sp, overwriting the oldest entry once the ring is full.
+// Storing the pointer publishes sp: it must not be mutated afterwards
+// (Span carries //simdtree:published; publishguard checks the
+// discipline inside this package).
 func (r *Ring) Add(sp *Span) {
 	i := r.seq.Add(1) - 1
 	r.slots[i&r.mask].Store(sp)

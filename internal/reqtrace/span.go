@@ -29,6 +29,13 @@ type Event struct {
 // Like trace.Trace, a Span is owned by one goroutine (the request
 // handler or driver client that started it) and every method is safe on
 // a nil receiver: unsampled paths hold a nil *Span and record nothing.
+//
+// A span is mutable only until Tracer.Finish rings it: Ring.Add stores
+// the pointer, concurrent /debug/requests readers load it lock-free,
+// and no write may follow. The publishguard analyzer checks that
+// frozen-after-publish discipline inside this package.
+//
+//simdtree:published
 type Span struct {
 	TraceID TraceID `json:"trace_id"`
 	SpanID  SpanID  `json:"span_id"`
@@ -70,6 +77,8 @@ func (sp *Span) Context() SpanContext {
 }
 
 // SetAttr appends one key/value annotation.
+//
+//simdtree:prepublish
 func (sp *Span) SetAttr(key, value string) {
 	if sp == nil || len(sp.Attrs) >= maxAttrs {
 		return
@@ -78,6 +87,8 @@ func (sp *Span) SetAttr(key, value string) {
 }
 
 // Event appends one timed annotation at the current offset from Start.
+//
+//simdtree:prepublish
 func (sp *Span) Event(name string) {
 	if sp == nil || len(sp.Events) >= maxEvents {
 		return
@@ -88,6 +99,8 @@ func (sp *Span) Event(name string) {
 // AttachDescent links the index descent this request performed to the
 // span and marks the moment with an event. A nil tr is ignored, so
 // callers can pass a trace unconditionally from a traced branch.
+//
+//simdtree:prepublish
 func (sp *Span) AttachDescent(tr *trace.Trace) {
 	if sp == nil || tr == nil {
 		return
@@ -98,6 +111,8 @@ func (sp *Span) AttachDescent(tr *trace.Trace) {
 
 // finish stamps the duration; Tracer.Finish calls it before ringing the
 // span.
+//
+//simdtree:prepublish
 func (sp *Span) finish() {
 	if sp == nil {
 		return

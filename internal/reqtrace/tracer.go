@@ -135,6 +135,8 @@ func (t *Tracer) StartRemote(name string, parent SpanContext) *Span {
 }
 
 // newSpan mints IDs and builds the span (the sampled, allocating path).
+//
+//simdtree:prepublish
 func (t *Tracer) newSpan(name string, parent SpanContext, remote bool) *Span {
 	t.started.Add(1)
 	sp := &Span{

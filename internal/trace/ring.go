@@ -1,6 +1,10 @@
 package trace
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/pow2"
+)
 
 // Ring is a lock-free fixed-capacity ring buffer of completed traces.
 // Writers claim a slot with one atomic increment and store a pointer;
@@ -8,6 +12,10 @@ import "sync/atomic"
 // writer may observe a slot mid-overwrite as either the old or the new
 // trace — both are complete traces, so the snapshot is always
 // well-formed, merely approximate about which N traces are "the latest".
+//
+// The capacity/mask pairing is the repo-wide pow2 idiom the ringmask
+// analyzer enforces: cap comes from pow2.CeilCap, every slot index is
+// `seq & mask`.
 type Ring struct {
 	slots []atomic.Pointer[Trace]
 	mask  uint64
@@ -17,10 +25,7 @@ type Ring struct {
 // NewRing returns a ring holding the most recent capacity traces,
 // rounded up to a power of two (minimum 1).
 func NewRing(capacity int) *Ring {
-	c := 1
-	for c < capacity {
-		c <<= 1
-	}
+	c := pow2.CeilCap(capacity, 1)
 	return &Ring{slots: make([]atomic.Pointer[Trace], c), mask: uint64(c - 1)}
 }
 
@@ -32,6 +37,9 @@ func (r *Ring) Cap() int { return len(r.slots) }
 func (r *Ring) Total() uint64 { return r.seq.Load() }
 
 // Add stores t, overwriting the oldest entry once the ring is full.
+// Storing the pointer publishes t: it must not be mutated afterwards
+// (Trace carries //simdtree:published; publishguard checks the
+// discipline inside this package).
 func (r *Ring) Add(t *Trace) {
 	i := r.seq.Add(1) - 1
 	r.slots[i&r.mask].Store(t)

@@ -139,6 +139,15 @@ const MaxSteps = 1024
 // Trace is the recorded descent of one operation. Construct with New,
 // thread through a GetTraced call, then Finish. A Trace is not safe for
 // concurrent use; each operation gets its own.
+//
+// A trace lives in two phases: recording (one goroutine appends steps
+// through the prepublish methods below) and published (Ring.Add stores
+// the pointer into the lock-free ring, after which concurrent readers
+// snapshot it without synchronization — so no mutation may follow the
+// store). The publishguard analyzer checks the discipline inside this
+// package.
+//
+//simdtree:published
 type Trace struct {
 	// Structure names the concrete structure searched ("segtree",
 	// "segtrie", "opt-segtrie", "btree", "zhouross", "kary").
@@ -168,6 +177,8 @@ func New(op, key string) *Trace {
 }
 
 // Finish records the outcome and the elapsed time since New.
+//
+//simdtree:prepublish
 func (t *Trace) Finish(found bool) {
 	if t == nil {
 		return
@@ -178,6 +189,8 @@ func (t *Trace) Finish(found bool) {
 
 // Add appends one step verbatim. The convenience recorders below fill
 // Depth automatically; Add leaves the step untouched.
+//
+//simdtree:prepublish
 func (t *Trace) Add(s Step) {
 	if t == nil {
 		return
@@ -191,6 +204,8 @@ func (t *Trace) Add(s Step) {
 
 // SetStructure names the concrete structure; the innermost index of a
 // wrapper stack calls it, overwriting whatever a wrapper set.
+//
+//simdtree:prepublish
 func (t *Trace) SetStructure(name string) {
 	if t == nil {
 		return
@@ -208,6 +223,8 @@ func (t *Trace) Depth() int {
 
 // Node records entering a node at the given structure depth; subsequent
 // steps inherit the depth.
+//
+//simdtree:prepublish
 func (t *Trace) Node(depth, keyCount int, layout, note string) {
 	if t == nil {
 		return
@@ -219,6 +236,8 @@ func (t *Trace) Node(depth, keyCount int, layout, note string) {
 // SIMD records one five-step SIMD sequence on k-ary level within the
 // current node: the loaded lanes, raw movemask, fused-equality outcome
 // and evaluated position.
+//
+//simdtree:prepublish
 func (t *Trace) SIMD(level, width int, loaded []string, mask uint16, eq bool, pos int) {
 	if t == nil {
 		return
@@ -228,6 +247,8 @@ func (t *Trace) SIMD(level, width int, loaded []string, mask uint16, eq bool, po
 }
 
 // Scalar records a run of scalar comparisons resolving to pos.
+//
+//simdtree:prepublish
 func (t *Trace) Scalar(steps, pos int) {
 	if t == nil {
 		return
@@ -236,6 +257,8 @@ func (t *Trace) Scalar(steps, pos int) {
 }
 
 // Branch records taking child idx out of the current node.
+//
+//simdtree:prepublish
 func (t *Trace) Branch(idx int) {
 	if t == nil {
 		return
@@ -244,6 +267,8 @@ func (t *Trace) Branch(idx int) {
 }
 
 // Segment records the 8-bit partial key extracted for a trie level.
+//
+//simdtree:prepublish
 func (t *Trace) Segment(depth int, seg uint8) {
 	if t == nil {
 		return
@@ -254,6 +279,8 @@ func (t *Trace) Segment(depth int, seg uint8) {
 // PrefixSkip records an optimized-trie compressed-prefix comparison
 // starting at depth: matched bytes compared equal; ok is false when the
 // run ended in a mismatch (search terminates).
+//
+//simdtree:prepublish
 func (t *Trace) PrefixSkip(depth, matched int, ok bool) {
 	if t == nil {
 		return
@@ -266,6 +293,8 @@ func (t *Trace) PrefixSkip(depth, matched int, ok bool) {
 }
 
 // FastPath records a search resolved without a k-ary descent.
+//
+//simdtree:prepublish
 func (t *Trace) FastPath(note string, pos int) {
 	if t == nil {
 		return
@@ -275,6 +304,8 @@ func (t *Trace) FastPath(note string, pos int) {
 
 // Skip records a pad-region skip of the depth-first layout at the given
 // k-ary level: no load happens, the level's digit stays 0.
+//
+//simdtree:prepublish
 func (t *Trace) Skip(level int, note string) {
 	if t == nil {
 		return
@@ -283,6 +314,8 @@ func (t *Trace) Skip(level int, note string) {
 }
 
 // Shard records the key-range routing decision of a sharded index.
+//
+//simdtree:prepublish
 func (t *Trace) Shard(idx int) {
 	if t == nil {
 		return
@@ -291,6 +324,8 @@ func (t *Trace) Shard(idx int) {
 }
 
 // Probe records one flat-list SIMD register probe at slot offset.
+//
+//simdtree:prepublish
 func (t *Trace) Probe(offset, width int, loaded []string, mask uint16, pos int) {
 	if t == nil {
 		return
